@@ -1,0 +1,392 @@
+package sos
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the solver design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*/paper-table benchmarks assert the reproduced values on
+// every iteration, so `-bench` doubles as an end-to-end reproduction run.
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/expts"
+	"sos/internal/heur"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/pareto"
+	"sos/internal/schedule"
+	"sos/internal/sim"
+)
+
+func requireFrontier(b *testing.B, pts []pareto.Point, want []expts.ParetoPoint) {
+	b.Helper()
+	if len(pts) < len(want) {
+		b.Fatalf("frontier has %d points, want at least %d", len(pts), len(want))
+	}
+	for i, w := range want {
+		if math.Abs(pts[i].Cost()-w.Cost) > 1e-6 || math.Abs(pts[i].Perf()-w.Perf) > 1e-6 {
+			b.Fatalf("point %d: (%g,%g), paper (%g,%g)", i, pts[i].Cost(), pts[i].Perf(), w.Cost, w.Perf)
+		}
+	}
+}
+
+func exactSweep(b *testing.B, g *Graph, pool *Pool, topo Topology) []pareto.Point {
+	b.Helper()
+	pts, err := pareto.Sweep(context.Background(), g, pool, topo, pareto.Options{
+		Engine: pareto.EngineCombinatorial,
+		Exact:  &exact.Options{TimeLimit: 10 * time.Minute},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pts
+}
+
+// BenchmarkTable2MILP regenerates Table II with the paper's own MILP
+// method (Figure 1 graph, Table I processors, point-to-point).
+func BenchmarkTable2MILP(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
+			Engine: pareto.EngineMILP,
+			MILP:   &milp.Options{TimeLimit: 10 * time.Minute},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requireFrontier(b, pts, expts.Table2)
+	}
+}
+
+// BenchmarkTable2Exact regenerates Table II with the combinatorial engine.
+func BenchmarkTable2Exact(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		requireFrontier(b, exactSweep(b, g, pool, arch.PointToPoint{}), expts.Table2)
+	}
+}
+
+// BenchmarkTable4 regenerates the Example 2 point-to-point frontier
+// (Table IV; the paper's runtimes for these five designs were 62 to 6417
+// minutes on a 1991 Solbourne).
+func BenchmarkTable4(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for i := 0; i < b.N; i++ {
+		requireFrontier(b, exactSweep(b, g, pool, arch.PointToPoint{}), expts.Table4)
+	}
+}
+
+// BenchmarkTable5 regenerates the Example 2 bus frontier (Table V).
+func BenchmarkTable5(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for i := 0; i < b.N; i++ {
+		requireFrontier(b, exactSweep(b, g, pool, arch.Bus{}), expts.Table5)
+	}
+}
+
+// BenchmarkFig2 synthesizes the paper's Figure 2 design (Example 1, cost
+// cap 14 -> makespan 2.5) with the MILP engine.
+func BenchmarkFig2(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		design, sol, err := m.Solve(context.Background(), nil)
+		if err != nil || sol.Status != milp.Optimal {
+			b.Fatalf("err=%v status=%v", err, sol.Status)
+		}
+		if math.Abs(design.Makespan-2.5) > 1e-6 {
+			b.Fatalf("makespan %g", design.Makespan)
+		}
+	}
+}
+
+// BenchmarkExp1 reruns the §4.2.1 communication-scaling study
+// (traditional semantics; volume ×2 and ×6 frontiers).
+func BenchmarkExp1(b *testing.B) {
+	g, lib := expts.Example1Strict()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		x2 := paperRange(exactSweep(b, g.ScaleVolumes(2), pool, arch.PointToPoint{}))
+		if len(x2) != expts.Exp1VolX2Designs {
+			b.Fatalf("×2 frontier %d, want %d", len(x2), expts.Exp1VolX2Designs)
+		}
+		x6 := paperRange(exactSweep(b, g.ScaleVolumes(6), pool, arch.PointToPoint{}))
+		if len(x6) != expts.Exp1VolX6Designs {
+			b.Fatalf("×6 frontier %d, want %d", len(x6), expts.Exp1VolX6Designs)
+		}
+	}
+}
+
+// BenchmarkExp2 reruns the §4.2.2 subtask-size-scaling study (size ×2 and
+// ×3 frontiers).
+func BenchmarkExp2(b *testing.B) {
+	g, lib := expts.Example1()
+	for i := 0; i < b.N; i++ {
+		x2 := paperRange(exactSweep(b, g, expts.Example1Pool(lib.ScaleExec(2)), arch.PointToPoint{}))
+		if len(x2) != expts.Exp2SizeX2Designs {
+			b.Fatalf("×2 frontier %d, want %d", len(x2), expts.Exp2SizeX2Designs)
+		}
+		x3 := paperRange(exactSweep(b, g, expts.Example1Pool(lib.ScaleExec(3)), arch.PointToPoint{}))
+		if len(x3) != expts.Exp2SizeX3Designs {
+			b.Fatalf("×3 frontier %d, want %d", len(x3), expts.Exp2SizeX3Designs)
+		}
+	}
+}
+
+func paperRange(pts []pareto.Point) []pareto.Point {
+	var out []pareto.Point
+	for _, p := range pts {
+		if p.Cost() >= 5-1e-9 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BenchmarkRingFrontier traces the §5 ring-extension frontier on
+// Example 2 (no paper numbers exist; the bench tracks our own).
+func BenchmarkRingFrontier(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for i := 0; i < b.N; i++ {
+		pts := exactSweep(b, g, pool, arch.Ring{})
+		if len(pts) == 0 {
+			b.Fatal("empty ring frontier")
+		}
+	}
+}
+
+// BenchmarkModelBuild measures MILP construction alone (Example 2 p2p).
+func BenchmarkModelBuild(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLPRelaxation measures one root-LP solve of the Example 2 MILP.
+func BenchmarkLPRelaxation(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := m.Prob.Solve(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status.String() != "optimal" {
+			b.Fatalf("root LP %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkHeuristicSynthesis measures the ETF-based baseline on
+// Example 2 (the inexact comparator).
+func BenchmarkHeuristicSynthesis(b *testing.B) {
+	g, lib := expts.Example2()
+	for i := 0; i < b.N; i++ {
+		if _, err := heur.Synthesize(g, lib, arch.PointToPoint{}, heur.SynthOptions{MaxPerType: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimReplay measures discrete-event replay of the Table IV
+// Design 1 schedule.
+func BenchmarkSimReplay(b *testing.B) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 15})
+	if err != nil || res.Design == nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Replay(res.Design); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationSymmetryOff solves Example 2 cap-12 with the MILP's
+// symmetry-breaking rows disabled, against BenchmarkAblationSymmetryOn.
+// (Cap 12 is the hardest Example 2 point the MILP closes quickly.)
+func BenchmarkAblationSymmetryOn(b *testing.B) { benchSymmetry(b, false) }
+
+// BenchmarkAblationSymmetryOff is the counterpart without the rows.
+func BenchmarkAblationSymmetryOff(b *testing.B) { benchSymmetry(b, true) }
+
+func benchSymmetry(b *testing.B, off bool) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		m, err := model.Build(g, pool, arch.PointToPoint{},
+			model.Options{Objective: model.MinMakespan, CostCap: 14, NoSymmetryBreaking: off})
+		if err != nil {
+			b.Fatal(err)
+		}
+		design, sol, err := m.Solve(context.Background(), nil)
+		if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-2.5) > 1e-6 {
+			b.Fatalf("err=%v status=%v", err, sol.Status)
+		}
+	}
+}
+
+// BenchmarkAblationBoundsOn/Off measure the earliest-start bound
+// tightening cuts.
+func BenchmarkAblationBoundsOn(b *testing.B) { benchBounds(b, false) }
+
+// BenchmarkAblationBoundsOff is the counterpart without tightened bounds.
+func BenchmarkAblationBoundsOff(b *testing.B) { benchBounds(b, true) }
+
+func benchBounds(b *testing.B, off bool) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		m, err := model.Build(g, pool, arch.PointToPoint{},
+			model.Options{Objective: model.MinMakespan, CostCap: 14, NoBoundTightening: off})
+		if err != nil {
+			b.Fatal(err)
+		}
+		design, sol, err := m.Solve(context.Background(), nil)
+		if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-2.5) > 1e-6 {
+			b.Fatalf("err=%v status=%v", err, sol.Status)
+		}
+	}
+}
+
+// BenchmarkAblationIncumbentOn/Off measure heuristic warm starts on the
+// MILP (Example 1, cap 13).
+func BenchmarkAblationIncumbentOn(b *testing.B) { benchIncumbent(b, true) }
+
+// BenchmarkAblationIncumbentOff is the counterpart with a cold start.
+func BenchmarkAblationIncumbentOff(b *testing.B) { benchIncumbent(b, false) }
+
+func benchIncumbent(b *testing.B, warm bool) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for i := 0; i < b.N; i++ {
+		m, err := model.Build(g, pool, arch.PointToPoint{},
+			model.Options{Objective: model.MinMakespan, CostCap: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := &milp.Options{}
+		if warm {
+			if hd, err := heur.Synthesize(g, lib, arch.PointToPoint{}, heur.SynthOptions{CostCap: 13, MaxPerType: 2}); err == nil {
+				if canon, err := schedule.Canonicalize(hd); err == nil {
+					if rd, err := schedule.RemapPool(canon, pool); err == nil {
+						if v, err := m.IncumbentVector(rd); err == nil {
+							opts.Incumbent = v
+						}
+					}
+				}
+			}
+		}
+		design, sol, err := m.Solve(context.Background(), opts)
+		if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-3) > 1e-6 {
+			b.Fatalf("err=%v status=%v", err, sol.Status)
+		}
+	}
+}
+
+// BenchmarkAblationLoadCutsOn/Off measure the per-processor load cuts
+// (T_F ≥ Σ D_PS·σ per instance) on the Example 2 cap-15 MILP with a
+// warm-start incumbent: with the cuts the root LP bound reaches the
+// optimum and the solve closes immediately; without them the same node
+// budget leaves the point unproven (the bench asserts only agreement of
+// the incumbent value in that case).
+func BenchmarkAblationLoadCutsOn(b *testing.B) { benchLoadCuts(b, false) }
+
+// BenchmarkAblationLoadCutsOff is the counterpart without the cuts.
+func BenchmarkAblationLoadCutsOff(b *testing.B) { benchLoadCuts(b, true) }
+
+func benchLoadCuts(b *testing.B, off bool) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 15})
+	if err != nil || res.Design == nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := model.Build(g, pool, arch.PointToPoint{},
+			model.Options{Objective: model.MinMakespan, CostCap: 15, NoLoadCuts: off})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc, err := m.IncumbentVector(mustCanonical(b, res.Design))
+		if err != nil {
+			b.Fatal(err)
+		}
+		design, sol, err := m.Solve(context.Background(), &milp.Options{
+			TimeLimit: 30 * time.Second, MaxNodes: 60, Incumbent: inc,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if design == nil || math.Abs(design.Makespan-5) > 1e-6 {
+			b.Fatalf("incumbent lost: %v", design)
+		}
+		if !off && sol.Status != milp.Optimal {
+			b.Fatalf("with load cuts the cap-15 point must prove at the root, got %v after %d nodes",
+				sol.Status, sol.Nodes)
+		}
+	}
+}
+
+func mustCanonical(b *testing.B, d *schedule.Design) *schedule.Design {
+	b.Helper()
+	c, err := schedule.Canonicalize(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAblationExactNoSymmetry measures the combinatorial engine's
+// instance-canonicalization rule on Example 2.
+func BenchmarkAblationExactSymmetryOn(b *testing.B) { benchExactSym(b, false) }
+
+// BenchmarkAblationExactSymmetryOff is the counterpart without it.
+func BenchmarkAblationExactSymmetryOff(b *testing.B) { benchExactSym(b, true) }
+
+func benchExactSym(b *testing.B, off bool) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for i := 0; i < b.N; i++ {
+		res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+			exact.Options{Objective: exact.MinMakespan, CostCap: 15, NoSymmetry: off})
+		if err != nil || res.Design == nil || math.Abs(res.Design.Makespan-5) > 1e-6 {
+			b.Fatalf("err=%v res=%+v", err, res)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Command sos synthesizes an application-specific heterogeneous
+// multiprocessor system from a JSON problem specification, printing the
+// selected processors, links, mapping, schedule, and a Gantt chart.
+//
+// Usage:
+//
+//	sos -spec problem.json [-topology p2p|bus|ring] [-objective makespan|cost]
+//	    [-cost-cap N] [-deadline N] [-engine auto|milp|heuristic]
+//	    [-budget 1m] [-frontier] [-gantt] [-trace]
+//	sos -example 1|2 [...]        # run a built-in paper example
+//	sos -write-spec problem.json  # emit a template spec and exit
+//
+// The spec file format:
+//
+//	{
+//	  "graph": {
+//	    "name": "example",
+//	    "subtasks": [{"name": "S1"}, {"name": "S2", "mem": 4}],
+//	    "arcs": [{"src": "S1", "dst": "S2", "volume": 1, "fr": 0.25, "fa": 0.5}]
+//	  },
+//	  "library": {
+//	    "name": "boards", "link_cost": 1, "remote_delay": 1, "local_delay": 0,
+//	    "types": [
+//	      {"name": "p1", "cost": 4, "exec": [1, 1]},
+//	      {"name": "p2", "cost": 2, "exec": [null, 3]}   // null = incapable
+//	    ]
+//	  },
+//	  "pool": [2, 2]   // optional: instances per type
+//	}
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"sos"
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/model"
+	"sos/internal/schedule"
+	"sos/internal/specfile"
+	"sos/internal/taskgraph"
+	"sos/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sos: ")
+	var (
+		specPath  = flag.String("spec", "", "JSON problem specification file")
+		example   = flag.Int("example", 0, "run the paper's Example 1 or 2 instead of -spec")
+		topoName  = flag.String("topology", "p2p", "interconnect style: p2p, bus, ring, or shmem")
+		objective = flag.String("objective", "makespan", "minimize: makespan (with -cost-cap) or cost (with -deadline)")
+		costCap   = flag.Float64("cost-cap", 0, "total system cost bound (0 = uncapped)")
+		deadline  = flag.Float64("deadline", 0, "completion-time bound for -objective cost")
+		engine    = flag.String("engine", "auto", "solver: auto, milp, combinatorial, or heuristic")
+		budget    = flag.Duration("budget", 5*time.Minute, "solver time budget (0 = unlimited)")
+		frontier  = flag.Bool("frontier", false, "trace the whole non-inferior cost/performance set")
+		gantt     = flag.Bool("gantt", true, "print the schedule as a Gantt chart")
+		trace     = flag.Bool("trace", false, "print the simulated event trace")
+		slack     = flag.Bool("slack", false, "print per-subtask slack and the critical path")
+		metrics   = flag.Bool("metrics", false, "print utilization and I/O-buffer metrics")
+		memory    = flag.Bool("memory", false, "enable the local-memory cost extension")
+		noOverlap = flag.Bool("no-overlap-io", false, "enable the no-I/O-module variant")
+		writeSpec = flag.String("write-spec", "", "write a template spec to the given path and exit")
+		dumpLP    = flag.String("dump-lp", "", "write the MILP in CPLEX LP format to the given path")
+		dumpEqns  = flag.String("dump-equations", "", "write the MILP as readable algebra to the given path")
+		saveSVG   = flag.String("svg", "", "render the synthesized design as SVG to the given path")
+		saveJSON  = flag.String("save-design", "", "save the synthesized design as JSON to the given path")
+	)
+	flag.Parse()
+
+	if *writeSpec != "" {
+		if err := writeTemplate(*writeSpec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote template spec to %s\n", *writeSpec)
+		return
+	}
+
+	var g *taskgraph.Graph
+	var lib *arch.Library
+	var pool *arch.Instances
+	switch {
+	case *example == 1:
+		g, lib = expts.Example1()
+		pool = expts.Example1Pool(lib)
+	case *example == 2:
+		g, lib = expts.Example2()
+		pool = expts.Example2Pool(lib)
+	case *specPath != "":
+		sf, err := specfile.Load(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, lib = sf.Graph, sf.Library
+		pool = sf.Instances()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec := sos.Spec{
+		Graph:       g,
+		Library:     lib,
+		Pool:        pool,
+		CostCap:     *costCap,
+		Deadline:    *deadline,
+		Budget:      *budget,
+		Memory:      *memory,
+		NoOverlapIO: *noOverlap,
+	}
+	switch *topoName {
+	case "p2p":
+		spec.Topology = sos.PointToPoint()
+	case "bus":
+		spec.Topology = sos.Bus()
+	case "ring":
+		spec.Topology = sos.Ring()
+	case "shmem":
+		spec.Topology = sos.SharedMemory(0)
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+	switch *objective {
+	case "makespan":
+		spec.Objective = sos.MinMakespan
+	case "cost":
+		spec.Objective = sos.MinCost
+	default:
+		log.Fatalf("unknown objective %q", *objective)
+	}
+	switch *engine {
+	case "auto":
+		spec.Engine = sos.EngineAuto
+	case "milp":
+		spec.Engine = sos.EngineMILP
+	case "combinatorial":
+		spec.Engine = sos.EngineCombinatorial
+	case "heuristic":
+		spec.Engine = sos.EngineHeuristic
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	if *dumpLP != "" || *dumpEqns != "" {
+		if err := dumpModel(spec, *dumpLP, *dumpEqns); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	if *frontier {
+		runFrontier(ctx, spec)
+		return
+	}
+	runOnce(ctx, spec, runFlags{
+		gantt: *gantt, trace: *trace, slack: *slack, metrics: *metrics,
+		svgPath: *saveSVG, jsonPath: *saveJSON,
+	})
+}
+
+type runFlags struct {
+	gantt, trace, slack, metrics bool
+	svgPath, jsonPath            string
+}
+
+// dumpModel builds the MILP once just for inspection output.
+func dumpModel(spec sos.Spec, lpPath, eqPath string) error {
+	mo := model.Options{CostCap: spec.CostCap, Deadline: spec.Deadline,
+		Memory: spec.Memory, NoOverlapIO: spec.NoOverlapIO}
+	if spec.Objective == sos.MinCost {
+		mo.Objective = model.MinCost
+	}
+	pool := spec.Pool
+	if pool == nil {
+		pool = arch.AutoPool(spec.Library, spec.Graph, 2)
+	}
+	m, err := model.Build(spec.Graph, pool, spec.Topology, mo)
+	if err != nil {
+		return err
+	}
+	write := func(path string, f func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		fh, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer fh.Close()
+		if err := f(fh); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n", path, m.Stats)
+		return nil
+	}
+	if err := write(lpPath, m.WriteLP); err != nil {
+		return err
+	}
+	return write(eqPath, m.WriteEquations)
+}
+
+func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) {
+	start := time.Now()
+	res, err := sos.Synthesize(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	switch {
+	case res.Infeasible:
+		fmt.Printf("infeasible (no system satisfies the constraints) [%v]\n", elapsed)
+		return
+	case res.Design == nil:
+		fmt.Printf("no design found within budget [%v]\n", elapsed)
+		return
+	}
+	status := "optimal"
+	if !res.Optimal {
+		status = "best-found (optimality not proven)"
+	}
+	fmt.Printf("%s in %v (%d nodes): %s\n", status, elapsed, res.Nodes, res.Design)
+	if res.ModelStats != nil {
+		fmt.Printf("model: %s\n", res.ModelStats)
+	}
+	d := res.Design
+	fmt.Println("\nprocessors:")
+	for _, p := range d.Procs {
+		fmt.Printf("  %-6s (type %s, cost %g)\n", d.Pool.Proc(p).Name,
+			d.Pool.Library().Type(d.Pool.Proc(p).Type).Name, d.Pool.Cost(p))
+	}
+	if len(d.Links) > 0 {
+		fmt.Println("links:")
+		for _, l := range d.Links {
+			fmt.Printf("  %s\n", d.Topo.LinkName(d.Pool, l))
+		}
+	}
+	fmt.Println("schedule:")
+	for _, as := range d.Assignments {
+		fmt.Printf("  %-6s on %-6s %6.3f .. %6.3f\n",
+			d.Graph.Subtask(as.Task).Name, d.Pool.Proc(as.Proc).Name, as.Start, as.End)
+	}
+	for _, tr := range d.Transfers {
+		kind := "local "
+		where := ""
+		if tr.Remote {
+			kind = "remote"
+			where = " via " + d.Topo.LinkName(d.Pool, tr.Links[0])
+		}
+		a := d.Graph.Arc(tr.Arc)
+		fmt.Printf("  i%d,%d %s %6.3f .. %6.3f%s\n", int(a.Dst)+1, a.DstPort, kind, tr.Start, tr.End, where)
+	}
+	if spec.Memory {
+		fmt.Println("memory:")
+		for p, m := range d.MemSizes() {
+			fmt.Printf("  %-6s %g units\n", d.Pool.Proc(p).Name, m)
+		}
+	}
+	if fl.gantt {
+		fmt.Println()
+		fmt.Print(d.Gantt(64))
+	}
+	if fl.slack {
+		rep, err := sos.Slack(d)
+		if err != nil {
+			log.Fatalf("slack analysis: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(rep.String())
+	}
+	if fl.metrics {
+		fmt.Println()
+		fmt.Print(sos.Measure(d).String())
+	}
+	if fl.trace {
+		t, err := sos.Simulate(d)
+		if err != nil {
+			log.Fatalf("simulation: %v", err)
+		}
+		fmt.Println("\nsimulated event trace:")
+		fmt.Print(t.String())
+	}
+	if fl.svgPath != "" {
+		if err := os.WriteFile(fl.svgPath, []byte(viz.SVG(d, 960)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", fl.svgPath)
+	}
+	if fl.jsonPath != "" {
+		data, err := schedule.EncodeDesign(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(fl.jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", fl.jsonPath)
+	}
+}
+
+func runFrontier(ctx context.Context, spec sos.Spec) {
+	start := time.Now()
+	pts, err := sos.Frontier(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-inferior designs (%v):\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %-8s %-12s %s\n", "cost", "performance", "system")
+	for _, p := range pts {
+		fmt.Printf("  %-8g %-12g %s\n", p.Cost, p.Perf, p.Design)
+	}
+}
+
+// writeTemplate emits a starter spec based on the paper's Example 1.
+func writeTemplate(path string) error {
+	g, lib := expts.Example1()
+	sf := &specfile.Spec{Graph: g, Library: lib, Pool: []int{2, 2, 2}}
+	data, err := sf.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

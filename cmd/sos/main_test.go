@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command under test once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "sos-cli")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIExample1(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := runCLI(t, bin, "-example", "1", "-cost-cap", "14", "-budget", "2m")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"optimal", "cost=14", "perf=2.5", "p1a", "schedule:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFrontier(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := runCLI(t, bin, "-example", "1", "-frontier", "-budget", "2m")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"non-inferior designs", "2.5", "17"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frontier output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISpecRoundTrip(t *testing.T) {
+	bin := buildCLI(t)
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	if out, err := runCLI(t, bin, "-write-spec", spec); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if _, err := os.Stat(spec); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, bin, "-spec", spec, "-cost-cap", "7", "-gantt=false", "-budget", "2m")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "perf=4") {
+		t.Errorf("spec solve output:\n%s", out)
+	}
+}
+
+func TestCLIArtifacts(t *testing.T) {
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "d.svg")
+	dj := filepath.Join(dir, "d.json")
+	lpf := filepath.Join(dir, "m.lp")
+	eqf := filepath.Join(dir, "m.eq")
+	out, err := runCLI(t, bin, "-example", "1", "-cost-cap", "14", "-gantt=false",
+		"-svg", svg, "-save-design", dj, "-dump-lp", lpf, "-dump-equations", eqf, "-budget", "2m")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, f := range []string{svg, dj, lpf, eqf} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s empty", f)
+		}
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	bin := buildCLI(t)
+	if out, err := runCLI(t, bin, "-example", "1", "-topology", "mesh"); err == nil {
+		t.Errorf("unknown topology accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, bin, "-example", "1", "-engine", "magic"); err == nil {
+		t.Errorf("unknown engine accepted:\n%s", out)
+	}
+	if out, err := runCLI(t, bin); err == nil {
+		t.Errorf("no input accepted:\n%s", out)
+	}
+}
+
+func TestCLIInfeasible(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := runCLI(t, bin, "-example", "1", "-cost-cap", "3", "-budget", "1m")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "infeasible") {
+		t.Errorf("expected infeasible report:\n%s", out)
+	}
+}

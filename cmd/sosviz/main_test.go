@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVizRendersExample1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "sosviz")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	out, err := exec.Command(bin, "-example", "1", "-cost-cap", "14", "-o", svg, "-budget", "2m").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "makespan 2.5") {
+		t.Errorf("unexpected SVG head: %.120s", s)
+	}
+}

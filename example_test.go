@@ -1,0 +1,69 @@
+package sos_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sos"
+)
+
+// ExampleSynthesize synthesizes the fastest two-board system for a tiny
+// pipeline under a cost cap.
+func ExampleSynthesize() {
+	g := sos.NewGraph("pipeline")
+	fir := g.AddSubtask("fir")
+	fft := g.AddSubtask("fft")
+	g.AddArc(fir, fft, sos.ArcSpec{Volume: 2})
+
+	lib := sos.NewLibrary("boards", 1, 1, 0)
+	lib.AddType("dsp", 5, []float64{1, 4})
+	lib.AddType("gp", 3, []float64{3, 3})
+
+	res, err := sos.Synthesize(context.Background(), sos.Spec{
+		Graph: g, Library: lib, CostCap: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal=%v cost=%g makespan=%g\n", res.Optimal, res.Design.Cost, res.Design.Makespan)
+	// Output: optimal=true cost=5 makespan=5
+}
+
+// ExampleFrontier traces the complete non-inferior cost/performance set.
+func ExampleFrontier() {
+	g := sos.NewGraph("fork")
+	src := g.AddSubtask("src")
+	a := g.AddSubtask("a")
+	b := g.AddSubtask("b")
+	g.AddArc(src, a, sos.ArcSpec{Volume: 1})
+	g.AddArc(src, b, sos.ArcSpec{Volume: 1})
+
+	lib := sos.NewLibrary("boards", 1, 1, 0)
+	lib.AddType("p", 2, []float64{1, 2, 2})
+
+	pts, err := sos.Frontier(context.Background(), sos.Spec{Graph: g, Library: lib})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("cost=%g perf=%g\n", p.Cost, p.Perf)
+	}
+	// Output:
+	// cost=5 perf=4
+	// cost=2 perf=5
+}
+
+// ExampleValidate shows the independent schedule checker.
+func ExampleValidate() {
+	g := sos.NewGraph("one")
+	g.AddSubtask("only")
+	lib := sos.NewLibrary("l", 1, 1, 0)
+	lib.AddType("p", 1, []float64{2})
+	res, err := sos.Synthesize(context.Background(), sos.Spec{Graph: g, Library: lib})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sos.Validate(res.Design))
+	// Output: <nil>
+}

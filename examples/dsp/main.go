@@ -1,0 +1,75 @@
+// DSP example: the paper's motivating domain. An 8-channel filter-bank
+// front end feeds an FFT, a detector, and a tracker. The example traces
+// the full non-inferior cost/performance frontier — the same study the
+// paper runs as Tables II/IV — so a designer can pick the cheapest system
+// meeting a latency target.
+//
+//	go run ./examples/dsp
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sos"
+)
+
+func main() {
+	g := sos.NewGraph("radar-dsp")
+	// Two input channels of decimating FIR filters.
+	fir1 := g.AddSubtask("fir1")
+	fir2 := g.AddSubtask("fir2")
+	// Beamformer combines the channels; FFT follows; then magnitude,
+	// CFAR detection, and tracking.
+	beam := g.AddSubtask("beamform")
+	fft := g.AddSubtask("fft")
+	mag := g.AddSubtask("mag")
+	cfar := g.AddSubtask("cfar")
+	track := g.AddSubtask("track")
+
+	// Streaming fractions: the beamformer needs each channel only as it
+	// consumes it (f_R=0.5) and each FIR streams its output from the
+	// halfway point (f_A=0.5).
+	g.AddArc(fir1, beam, sos.ArcSpec{Volume: 4, FR: 0.5, FA: 0.5})
+	g.AddArc(fir2, beam, sos.ArcSpec{Volume: 4, FR: 0.5, FA: 0.5})
+	g.AddArc(beam, fft, sos.ArcSpec{Volume: 4})
+	g.AddArc(fft, mag, sos.ArcSpec{Volume: 2})
+	g.AddArc(mag, cfar, sos.ArcSpec{Volume: 2})
+	g.AddArc(cfar, track, sos.ArcSpec{Volume: 1})
+
+	lib := sos.NewLibrary("dsp-boards", 1, 0.25, 0)
+	// A vector DSP is fast on the signal kernels but cannot run the
+	// tracker's data-dependent control code (Type-I heterogeneity); the
+	// general-purpose core runs everything, slower (Type-II).
+	//                              fir1 fir2 beam fft mag cfar track
+	lib.AddType("vdsp", 8, []float64{1, 1, 1, 2, 1, 2, sos.NoTime})
+	lib.AddType("gp", 4, []float64{3, 3, 3, 6, 2, 3, 2})
+
+	fmt.Println("non-inferior systems (cost vs completion time):")
+	pts, err := sos.Frontier(context.Background(), sos.Spec{Graph: g, Library: lib})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-6s %-8s %s\n", "cost", "latency", "system")
+	for _, p := range pts {
+		fmt.Printf("  %-6g %-8g %s\n", p.Cost, p.Perf, p.Design)
+	}
+
+	// Pick the knee: the cheapest design within 25% of the fastest.
+	best := pts[0]
+	for _, p := range pts {
+		if p.Perf < best.Perf {
+			best = p
+		}
+	}
+	var pick = best
+	for _, p := range pts {
+		if p.Perf <= best.Perf*1.25 && p.Cost < pick.Cost {
+			pick = p
+		}
+	}
+	fmt.Printf("\nknee design (cheapest within 25%% of fastest):\n")
+	fmt.Printf("  %s\n\n", pick.Design)
+	fmt.Print(pick.Design.Gantt(64))
+}

@@ -1,0 +1,71 @@
+// Interconnect example: compares the three interconnection styles SOS can
+// synthesize for — the paper's point-to-point (§3.2), bus (§4.3.2), and
+// the §5 ring extension — on the nine-subtask Example 2, tracing each
+// style's non-inferior frontier and simulating the fastest design of each.
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sos"
+	"sos/internal/expts"
+)
+
+func main() {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+
+	styles := []struct {
+		name string
+		topo sos.Topology
+	}{
+		{"point-to-point", sos.PointToPoint()},
+		{"bus", sos.Bus()},
+		{"ring", sos.Ring()},
+		{"shared-memory", sos.SharedMemory(0)},
+	}
+
+	for _, s := range styles {
+		pts, err := sos.Frontier(context.Background(), sos.Spec{
+			Graph:    g,
+			Library:  lib,
+			Pool:     pool,
+			Topology: s.topo,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s frontier:\n", s.name)
+		for _, p := range pts {
+			fmt.Printf("  cost %-4g perf %-4g %s\n", p.Cost, p.Perf, p.Design)
+		}
+		fast := pts[0]
+		for _, p := range pts {
+			if p.Perf < fast.Perf {
+				fast = p
+			}
+		}
+		// Execute the fastest design on the discrete-event simulator and
+		// report both the static and self-timed makespans.
+		tr, err := sos.Simulate(fast.Design)
+		if err != nil {
+			log.Fatalf("%s: simulation: %v", s.name, err)
+		}
+		st, err := sos.SimulateSelfTimed(fast.Design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  fastest design simulated: static makespan %g, self-timed %g\n\n",
+			tr.Makespan, st.Makespan)
+	}
+
+	fmt.Println("observations: the bus saves link cost but serializes all remote traffic;")
+	fmt.Println("the ring multiplies delays by hop distance; shared memory doubles every")
+	fmt.Println("transfer (write + read through one port); point-to-point is fastest at")
+	fmt.Println("the highest interconnect cost — the cost/performance tradeoff the paper's")
+	fmt.Println("§4.3 experiments illustrate.")
+}

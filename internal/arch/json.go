@@ -1,0 +1,73 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonLibrary is the wire form of a Library. Execution-time entries use
+// null for "functionally incapable" (the '-' of the paper's tables),
+// because JSON has no representation for +Inf.
+type jsonLibrary struct {
+	Name           string     `json:"name"`
+	LinkCost       float64    `json:"link_cost"`
+	RemoteDelay    float64    `json:"remote_delay"`
+	LocalDelay     float64    `json:"local_delay"`
+	MemCostPerUnit float64    `json:"mem_cost_per_unit,omitempty"`
+	Types          []jsonType `json:"types"`
+}
+
+type jsonType struct {
+	Name string     `json:"name"`
+	Cost float64    `json:"cost"`
+	Exec []*float64 `json:"exec"`
+}
+
+// MarshalJSON encodes the library in a stable, human-editable form.
+func (l *Library) MarshalJSON() ([]byte, error) {
+	jl := jsonLibrary{
+		Name:           l.Name,
+		LinkCost:       l.LinkCost,
+		RemoteDelay:    l.RemoteDelay,
+		LocalDelay:     l.LocalDelay,
+		MemCostPerUnit: l.MemCostPerUnit,
+	}
+	for _, t := range l.types {
+		jt := jsonType{Name: t.Name, Cost: t.Cost}
+		for _, e := range t.exec {
+			if math.IsInf(e, 1) {
+				jt.Exec = append(jt.Exec, nil)
+			} else {
+				v := e
+				jt.Exec = append(jt.Exec, &v)
+			}
+		}
+		jl.Types = append(jl.Types, jt)
+	}
+	return json.MarshalIndent(jl, "", "  ")
+}
+
+// UnmarshalJSON decodes a library previously encoded with MarshalJSON or
+// hand-written in the same format.
+func (l *Library) UnmarshalJSON(data []byte) error {
+	var jl jsonLibrary
+	if err := json.Unmarshal(data, &jl); err != nil {
+		return fmt.Errorf("arch: %w", err)
+	}
+	nl := NewLibrary(jl.Name, jl.LinkCost, jl.RemoteDelay, jl.LocalDelay)
+	nl.MemCostPerUnit = jl.MemCostPerUnit
+	for _, jt := range jl.Types {
+		exec := make([]float64, len(jt.Exec))
+		for i, e := range jt.Exec {
+			if e == nil {
+				exec[i] = NoTime
+			} else {
+				exec[i] = *e
+			}
+		}
+		nl.AddType(jt.Name, jt.Cost, exec)
+	}
+	*l = *nl
+	return nil
+}

@@ -1,0 +1,341 @@
+package exact
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// activity is one resource-occupying interval in the disjunctive graph:
+// either a subtask execution on its processor or a remote transfer on its
+// links.
+type activity struct {
+	isTask bool
+	task   taskgraph.SubtaskID
+	arc    taskgraph.ArcID
+	// event-graph node indices of its start and end
+	start, end int
+	// resources the activity occupies
+	procs []arch.ProcID
+	links []arch.LinkID
+}
+
+// disjGraph is the fixed part of the scheduling subproblem for one mapping.
+type disjGraph struct {
+	g       *taskgraph.Graph
+	pool    *arch.Instances
+	topo    arch.Topology
+	mapping []arch.ProcID
+
+	nodes int
+	base  [][]edge // static dataflow/duration edges
+	acts  []activity
+	// conflict pairs: indices into acts that share a resource and are not
+	// already ordered by the base graph
+	pairs [][2]int
+
+	dur []float64 // per subtask, actual duration under the mapping
+	xfd []float64 // per arc, transfer duration under the mapping
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+// node numbering: task-start a, task-end a, xfer-start e, xfer-end e.
+func (dg *disjGraph) tStart(a taskgraph.SubtaskID) int { return int(a) }
+func (dg *disjGraph) tEnd(a taskgraph.SubtaskID) int {
+	return dg.g.NumSubtasks() + int(a)
+}
+func (dg *disjGraph) xStart(e taskgraph.ArcID) int {
+	return 2*dg.g.NumSubtasks() + int(e)
+}
+func (dg *disjGraph) xEnd(e taskgraph.ArcID) int {
+	return 2*dg.g.NumSubtasks() + dg.g.NumArcs() + int(e)
+}
+
+func newDisjGraph(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, mapping []arch.ProcID, noOverlapIO bool) *disjGraph {
+	dg := &disjGraph{g: g, pool: pool, topo: topo, mapping: mapping}
+	nT, nX := g.NumSubtasks(), g.NumArcs()
+	dg.nodes = 2*nT + 2*nX
+	dg.base = make([][]edge, dg.nodes)
+	lib := pool.Library()
+	n := pool.NumProcs()
+
+	dg.dur = make([]float64, nT)
+	for _, s := range g.Subtasks() {
+		dg.dur[s.ID] = pool.Exec(mapping[s.ID], s.ID)
+		dg.addBase(dg.tStart(s.ID), dg.tEnd(s.ID), dg.dur[s.ID])
+	}
+	dg.xfd = make([]float64, nX)
+	for _, a := range g.Arcs() {
+		d1, d2 := mapping[a.Src], mapping[a.Dst]
+		if d1 == d2 {
+			dg.xfd[a.ID] = lib.LocalDelay * a.Volume
+		} else {
+			dg.xfd[a.ID] = topo.DelayPerUnit(lib, n, d1, d2) * a.Volume
+		}
+		dg.addBase(dg.xStart(a.ID), dg.xEnd(a.ID), dg.xfd[a.ID])
+		// Data availability: xStart >= tStart(src) + f_A·dur(src).
+		dg.addBase(dg.tStart(a.Src), dg.xStart(a.ID), a.FA*dg.dur[a.Src])
+		// Consumer bound: tStart(dst) >= xEnd − f_R·dur(dst).
+		dg.addBase(dg.xEnd(a.ID), dg.tStart(a.Dst), -a.FR*dg.dur[a.Dst])
+	}
+
+	// Activities and their resources.
+	for _, s := range g.Subtasks() {
+		dg.acts = append(dg.acts, activity{
+			isTask: true, task: s.ID,
+			start: dg.tStart(s.ID), end: dg.tEnd(s.ID),
+			procs: []arch.ProcID{mapping[s.ID]},
+		})
+	}
+	for _, a := range g.Arcs() {
+		d1, d2 := mapping[a.Src], mapping[a.Dst]
+		if d1 == d2 {
+			continue // local transfers occupy no shared resource
+		}
+		act := activity{
+			isTask: false, arc: a.ID,
+			start: dg.xStart(a.ID), end: dg.xEnd(a.ID),
+			links: topo.Path(n, d1, d2),
+		}
+		if noOverlapIO {
+			// §5 variant: without I/O modules the transfer also occupies
+			// both endpoint processors, and can neither overlap its own
+			// producer's execution nor its consumer's.
+			act.procs = []arch.ProcID{d1, d2}
+			dg.addBase(dg.tEnd(a.Src), dg.xStart(a.ID), 0)
+			dg.addBase(dg.xEnd(a.ID), dg.tStart(a.Dst), 0)
+		}
+		dg.acts = append(dg.acts, act)
+	}
+	// Conflict pairs: any two activities sharing a processor or a link.
+	for i := 0; i < len(dg.acts); i++ {
+		for j := i + 1; j < len(dg.acts); j++ {
+			if dg.sharesResource(dg.acts[i], dg.acts[j]) {
+				dg.pairs = append(dg.pairs, [2]int{i, j})
+			}
+		}
+	}
+	return dg
+}
+
+func (dg *disjGraph) addBase(from, to int, w float64) {
+	dg.base[from] = append(dg.base[from], edge{to, w})
+}
+
+func (dg *disjGraph) sharesResource(a, b activity) bool {
+	for _, p := range a.procs {
+		for _, q := range b.procs {
+			if p == q {
+				return true
+			}
+		}
+	}
+	for _, l := range a.links {
+		for _, m := range b.links {
+			if l == m {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// earliest computes the earliest event times under the base edges plus the
+// given extra ordering edges, or nil if the combined graph is cyclic.
+func (dg *disjGraph) earliest(extra []edgePair) []float64 {
+	indeg := make([]int, dg.nodes)
+	for _, es := range dg.base {
+		for _, e := range es {
+			indeg[e.to]++
+		}
+	}
+	for _, e := range extra {
+		indeg[e.to]++
+	}
+	extraFrom := make([][]edge, dg.nodes)
+	for _, e := range extra {
+		extraFrom[e.from] = append(extraFrom[e.from], edge{e.to, 0})
+	}
+	times := make([]float64, dg.nodes)
+	queue := make([]int, 0, dg.nodes)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	relax := func(v int, e edge) {
+		if t := times[v] + e.w; t > times[e.to] {
+			times[e.to] = t
+		}
+		indeg[e.to]--
+		if indeg[e.to] == 0 {
+			queue = append(queue, e.to)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, e := range dg.base[v] {
+			relax(v, e)
+		}
+		for _, e := range extraFrom[v] {
+			relax(v, e)
+		}
+	}
+	if seen != dg.nodes {
+		return nil
+	}
+	return times
+}
+
+type edgePair struct{ from, to int }
+
+// optimalSchedule finds the minimum-makespan schedule of a fixed mapping by
+// disjunctive branch and bound. Only schedules with makespan strictly below
+// cutoff are of interest: anything at or above it is pruned and nil is
+// returned if no schedule beats the cutoff. The second return is the number
+// of B&B nodes used. budgetHit is shared with the outer search so time
+// exhaustion propagates.
+func optimalSchedule(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology,
+	mapping []arch.ProcID, cutoff float64, noOverlapIO bool, budgetHit *bool, deadline time.Time) (*schedule.Design, int) {
+
+	dg := newDisjGraph(g, pool, topo, mapping, noOverlapIO)
+	nodes := 0
+	var bestTimes []float64
+	best := cutoff
+
+	var rec func(extra []edgePair)
+	rec = func(extra []edgePair) {
+		if *budgetHit {
+			return
+		}
+		nodes++
+		if nodes%256 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			*budgetHit = true
+			return
+		}
+		times := dg.earliest(extra)
+		if times == nil {
+			return // cyclic ordering
+		}
+		mk := 0.0
+		for _, s := range g.Subtasks() {
+			if t := times[dg.tEnd(s.ID)]; t > mk {
+				mk = t
+			}
+		}
+		if mk >= best-1e-9 {
+			return // bound
+		}
+		// Find the earliest unresolved resource conflict.
+		ci, cj := -1, -1
+		bestKey := math.Inf(1)
+		for _, pr := range dg.pairs {
+			a, b := dg.acts[pr[0]], dg.acts[pr[1]]
+			s1, e1 := times[a.start], times[a.end]
+			s2, e2 := times[b.start], times[b.end]
+			if e1-s1 <= 1e-12 || e2-s2 <= 1e-12 {
+				continue // zero-length activities never contend
+			}
+			if s1 < e2-1e-9 && s2 < e1-1e-9 {
+				key := math.Min(s1, s2)
+				if key < bestKey {
+					bestKey = key
+					ci, cj = pr[0], pr[1]
+				}
+			}
+		}
+		if ci < 0 {
+			// Conflict-free: feasible schedule.
+			best = mk
+			bestTimes = append([]float64(nil), times...)
+			return
+		}
+		a, b := dg.acts[ci], dg.acts[cj]
+		// Branch: a before b, then b before a. Explore the branch whose
+		// activity currently starts earlier first.
+		first, second := edgePair{a.end, b.start}, edgePair{b.end, a.start}
+		if times[b.start] < times[a.start] {
+			first, second = second, first
+		}
+		left := make([]edgePair, len(extra)+1)
+		copy(left, extra)
+		left[len(extra)] = first
+		rec(left)
+		right := make([]edgePair, len(extra)+1)
+		copy(right, extra)
+		right[len(extra)] = second
+		rec(right)
+	}
+	rec(nil)
+
+	if bestTimes == nil {
+		return nil, nodes
+	}
+	return dg.buildDesign(bestTimes), nodes
+}
+
+// buildDesign converts event times into a schedule.Design.
+func (dg *disjGraph) buildDesign(times []float64) *schedule.Design {
+	g := dg.g
+	n := dg.pool.NumProcs()
+	d := &schedule.Design{Graph: g, Pool: dg.pool, Topo: dg.topo}
+	d.Assignments = make([]schedule.Assignment, g.NumSubtasks())
+	for _, s := range g.Subtasks() {
+		d.Assignments[s.ID] = schedule.Assignment{
+			Task:  s.ID,
+			Proc:  dg.mapping[s.ID],
+			Start: times[dg.tStart(s.ID)],
+			End:   times[dg.tEnd(s.ID)],
+		}
+	}
+	d.Transfers = make([]schedule.Transfer, g.NumArcs())
+	for _, a := range g.Arcs() {
+		d1, d2 := dg.mapping[a.Src], dg.mapping[a.Dst]
+		tr := schedule.Transfer{
+			Arc:    a.ID,
+			From:   d1,
+			To:     d2,
+			Remote: d1 != d2,
+			Start:  times[dg.xStart(a.ID)],
+			End:    times[dg.xEnd(a.ID)],
+		}
+		if tr.Remote {
+			tr.Links = dg.topo.Path(n, d1, d2)
+		}
+		d.Transfers[a.ID] = tr
+	}
+	d.DeriveResources()
+	return d
+}
+
+// OptimalSchedule exposes the disjunctive scheduler for a fixed mapping:
+// the minimum-makespan schedule honoring every SOS correctness rule.
+// Returns nil if the mapping admits no schedule (it always does for a DAG).
+func OptimalSchedule(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, mapping []arch.ProcID) *schedule.Design {
+	var budget bool
+	d, _ := optimalSchedule(g, pool, topo, mapping, math.Inf(1), false, &budget, time.Time{})
+	return d
+}
+
+// sortedPairs is a test helper guaranteeing deterministic pair order.
+func (dg *disjGraph) sortedPairs() [][2]int {
+	out := append([][2]int(nil), dg.pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,389 @@
+// Package exact is a combinatorial branch-and-bound synthesizer that
+// solves the same problem as the SOS MILP — minimize makespan subject to a
+// cost cap (or minimize cost subject to a deadline) over processor
+// selection, mapping, and scheduling — by direct search instead of linear
+// programming:
+//
+//   - an outer DFS enumerates subtask→instance mappings in topological
+//     order, with same-type symmetry canonicalization, cost pruning, and
+//     critical-path/load lower bounds, and
+//   - an inner disjunctive-graph branch and bound (in the tradition of
+//     job-shop solvers) finds the optimal schedule of a fixed mapping by
+//     repeatedly branching on the order of the earliest resource conflict.
+//
+// Both engines are exact, so exact.Synthesize provides an independent
+// cross-check of the MILP results (and is much faster on the paper's
+// examples, whose MILPs took hours on 1991 hardware).
+package exact
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// Objective selects the optimization mode.
+type Objective int
+
+// Objectives.
+const (
+	// MinMakespan minimizes T_F subject to Options.CostCap.
+	MinMakespan Objective = iota
+	// MinCost minimizes system cost subject to Options.Deadline.
+	MinCost
+)
+
+// Options configures a synthesis search.
+type Options struct {
+	Objective Objective
+	CostCap   float64 // MinMakespan: total cost bound (0 = uncapped)
+	Deadline  float64 // MinCost: makespan bound (required)
+
+	// TimeLimit caps wall time (0 = unlimited). When hit, the best
+	// incumbent is returned with Optimal=false.
+	TimeLimit time.Duration
+	// MaxNodes caps outer mapping nodes (0 = unlimited).
+	MaxNodes int
+	// NoSymmetry disables same-type instance canonicalization (it is
+	// always disabled under ring topologies, where instance position
+	// matters).
+	NoSymmetry bool
+	// NoOverlapIO enables the §5 variant without I/O modules: a remote
+	// transfer occupies both endpoint processors in addition to its links.
+	NoOverlapIO bool
+}
+
+// Result is the outcome of a synthesis search.
+type Result struct {
+	Design  *schedule.Design // nil if nothing feasible found
+	Optimal bool             // true when the search space was exhausted
+	Nodes   int              // outer mapping nodes explored
+	Sched   int              // inner scheduling B&B nodes explored
+}
+
+// Synthesize runs the exact search.
+func Synthesize(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pool.Library().Validate(g); err != nil {
+		return nil, err
+	}
+	if opts.Objective == MinCost && opts.Deadline <= 0 {
+		return nil, errMinCostNeedsDeadline
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := newSearch(g, pool, topo, opts, order)
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	s.ctx = ctx
+
+	s.dfs(0)
+
+	res := &Result{Design: s.best, Optimal: !s.budgetHit, Nodes: s.nodes, Sched: s.schedNodes}
+	return res, nil
+}
+
+var errMinCostNeedsDeadline = fmt.Errorf("exact: MinCost requires a positive Deadline")
+
+// newSearch builds the per-goroutine search state for one DFS.
+func newSearch(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options, order []taskgraph.SubtaskID) *search {
+	_, isRing := topo.(arch.Ring)
+	s := &search{
+		g:         g,
+		pool:      pool,
+		topo:      topo,
+		opts:      opts,
+		order:     order,
+		mapping:   make([]arch.ProcID, g.NumSubtasks()),
+		typeOf:    make([]arch.TypeID, pool.NumProcs()),
+		symmetry:  !opts.NoSymmetry && !isRing,
+		localPerf: math.Inf(1),
+		localCost: math.Inf(1),
+	}
+	for i := range s.mapping {
+		s.mapping[i] = -1
+	}
+	for _, p := range pool.Procs() {
+		s.typeOf[p.ID] = p.Type
+	}
+	s.minDur = make([]float64, g.NumSubtasks())
+	for _, t := range g.Subtasks() {
+		best := math.Inf(1)
+		for _, d := range pool.Capable(t.ID) {
+			if e := pool.Exec(d, t.ID); e < best {
+				best = e
+			}
+		}
+		s.minDur[t.ID] = best
+	}
+	return s
+}
+
+type search struct {
+	g    *taskgraph.Graph
+	pool *arch.Instances
+	topo arch.Topology
+	opts Options
+	ctx  context.Context
+
+	order    []taskgraph.SubtaskID
+	mapping  []arch.ProcID
+	typeOf   []arch.TypeID
+	minDur   []float64
+	symmetry bool
+	deadline time.Time
+
+	nodes      int
+	schedNodes int
+	budgetHit  bool
+
+	best      *schedule.Design
+	localPerf float64
+	localCost float64
+
+	// Parallel mode: shared incumbent and cooperative stop flag.
+	shared     *sharedIncumbent
+	sharedStop *atomic.Bool
+}
+
+// bestPerf returns the current pruning bound on makespan (shared across
+// workers in parallel mode).
+func (s *search) bestPerf() float64 {
+	if s.shared != nil {
+		return s.shared.perf()
+	}
+	return s.localPerf
+}
+
+// bestCost returns the current pruning bound on cost.
+func (s *search) bestCost() float64 {
+	if s.shared != nil {
+		return s.shared.cost()
+	}
+	return s.localCost
+}
+
+// accept installs an improving design.
+func (s *search) accept(d *schedule.Design, cost float64) {
+	if s.shared != nil {
+		s.shared.offer(d, cost, s.opts.Objective)
+		return
+	}
+	s.best = d
+	s.localPerf = d.Makespan
+	s.localCost = cost
+}
+
+// overBudget checks node/time/context budgets.
+func (s *search) overBudget() bool {
+	if s.budgetHit {
+		return true
+	}
+	if s.opts.MaxNodes > 0 && s.nodes >= s.opts.MaxNodes {
+		s.budgetHit = true
+	}
+	if !s.deadline.IsZero() && s.nodes%64 == 0 && time.Now().After(s.deadline) {
+		s.budgetHit = true
+	}
+	if s.ctx != nil && s.nodes%64 == 0 && s.ctx.Err() != nil {
+		s.budgetHit = true
+	}
+	if s.sharedStop != nil && s.sharedStop.Load() {
+		return true
+	}
+	return s.budgetHit
+}
+
+// procCost sums the costs of instances used by the partial mapping.
+func (s *search) procCost() float64 {
+	used := map[arch.ProcID]bool{}
+	cost := 0.0
+	for _, d := range s.mapping {
+		if d >= 0 && !used[d] {
+			used[d] = true
+			cost += s.pool.Cost(d)
+		}
+	}
+	return cost
+}
+
+// makespanLB is a valid lower bound on the makespan of any completion of
+// the partial mapping: the critical path using actual durations where
+// assigned and best-case durations elsewhere (communication free), and the
+// per-processor committed load.
+func (s *search) makespanLB() float64 {
+	g := s.g
+	dur := func(a taskgraph.SubtaskID) float64 {
+		if d := s.mapping[a]; d >= 0 {
+			return s.pool.Exec(d, a)
+		}
+		return s.minDur[a]
+	}
+	lb := g.CriticalPath(dur)
+	load := map[arch.ProcID]float64{}
+	for a, d := range s.mapping {
+		if d >= 0 {
+			load[d] += s.pool.Exec(d, taskgraph.SubtaskID(a))
+		}
+	}
+	for _, l := range load {
+		if l > lb {
+			lb = l
+		}
+	}
+	return lb
+}
+
+// dfs assigns the idx-th subtask in topological order.
+func (s *search) dfs(idx int) {
+	if s.overBudget() {
+		return
+	}
+	s.nodes++
+	if s.opts.Objective == MinMakespan {
+		if s.makespanLB() >= s.bestPerf()-1e-9 {
+			return
+		}
+		if s.opts.CostCap > 0 && s.procCost() > s.opts.CostCap+1e-9 {
+			return
+		}
+	} else {
+		if s.procCost() >= s.bestCost()-1e-9 {
+			return
+		}
+		if s.makespanLB() > s.opts.Deadline+1e-9 {
+			return
+		}
+	}
+	if idx == len(s.order) {
+		s.leaf()
+		return
+	}
+	task := s.order[idx]
+	cands := s.candidates(task)
+	for _, d := range cands {
+		s.mapping[task] = d
+		s.dfs(idx + 1)
+		s.mapping[task] = -1
+		if s.budgetHit {
+			return
+		}
+	}
+}
+
+// candidates returns the instances to try for a task, applying the
+// symmetry rule: among the unused instances of a type, only the
+// lowest-numbered copy may be opened.
+func (s *search) candidates(task taskgraph.SubtaskID) []arch.ProcID {
+	capable := s.pool.Capable(task)
+	if !s.symmetry {
+		return capable
+	}
+	used := map[arch.ProcID]bool{}
+	for _, d := range s.mapping {
+		if d >= 0 {
+			used[d] = true
+		}
+	}
+	openedType := map[arch.TypeID]bool{}
+	var out []arch.ProcID
+	// capable is ascending, and within a type instance IDs ascend, so the
+	// first unused copy of each type encountered is the lowest-numbered.
+	for _, d := range capable {
+		if used[d] {
+			out = append(out, d)
+			continue
+		}
+		t := s.typeOf[d]
+		if openedType[t] {
+			continue
+		}
+		openedType[t] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// leaf evaluates a complete mapping: prices the implied system and runs
+// the inner scheduling B&B.
+func (s *search) leaf() {
+	cost := s.systemCost()
+	switch s.opts.Objective {
+	case MinMakespan:
+		if s.opts.CostCap > 0 && cost > s.opts.CostCap+1e-9 {
+			return
+		}
+		// Accept a strictly faster schedule, or an equally fast one that
+		// is cheaper (so the returned design is non-inferior at its own
+		// performance level).
+		bp, bc := s.bestPerf(), s.bestCost()
+		cut := bp - 1e-9
+		if cost < bc-1e-9 {
+			cut = bp + 1e-9
+		}
+		d, nodes := optimalSchedule(s.g, s.pool, s.topo, s.mapping, cut, s.opts.NoOverlapIO, &s.budgetHit, s.deadline)
+		s.schedNodes += nodes
+		if d == nil {
+			return
+		}
+		if d.Makespan < bp-1e-9 || cost < bc-1e-9 {
+			s.accept(d, cost)
+		}
+	case MinCost:
+		if cost >= s.bestCost()-1e-9 {
+			return
+		}
+		d, nodes := optimalSchedule(s.g, s.pool, s.topo, s.mapping, s.opts.Deadline+1e-6, s.opts.NoOverlapIO, &s.budgetHit, s.deadline)
+		s.schedNodes += nodes
+		if d == nil || d.Makespan > s.opts.Deadline+1e-9 {
+			return
+		}
+		s.accept(d, cost)
+	}
+}
+
+// systemCost prices the complete mapping: used processors plus the links
+// every remote arc's path requires (deduplicated), plus memory if priced.
+func (s *search) systemCost() float64 {
+	lib := s.pool.Library()
+	n := s.pool.NumProcs()
+	cost := s.procCost()
+	links := map[arch.LinkID]bool{}
+	for _, a := range s.g.Arcs() {
+		d1, d2 := s.mapping[a.Src], s.mapping[a.Dst]
+		if d1 == d2 {
+			continue
+		}
+		for _, l := range s.topo.Path(n, d1, d2) {
+			if !links[l] {
+				links[l] = true
+				cost += s.topo.LinkCost(lib, l)
+			}
+		}
+	}
+	if lib.MemCostPerUnit > 0 {
+		for a, d := range s.mapping {
+			_ = d
+			cost += lib.MemCostPerUnit * s.g.Subtask(taskgraph.SubtaskID(a)).Mem
+		}
+	}
+	return cost
+}
+
+// SortProcIDs sorts a slice of instance IDs ascending (exported helper for
+// deterministic reporting).
+func SortProcIDs(ids []arch.ProcID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

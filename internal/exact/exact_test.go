@@ -1,0 +1,255 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/sim"
+)
+
+func synthOK(t *testing.T, opts Options, topoArg ...arch.Topology) *Result {
+	t.Helper()
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	var topo arch.Topology = arch.PointToPoint{}
+	if len(topoArg) > 0 {
+		topo = topoArg[0]
+	}
+	res, err := Synthesize(context.Background(), g, pool, topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatalf("search not exhausted (%d nodes)", res.Nodes)
+	}
+	return res
+}
+
+// TestExample1Frontier reproduces Table II with the combinatorial engine.
+func TestExample1Frontier(t *testing.T) {
+	for _, pt := range expts.Table2 {
+		res := synthOK(t, Options{Objective: MinMakespan, CostCap: pt.Cost})
+		if res.Design == nil {
+			t.Fatalf("cap %g: no design", pt.Cost)
+		}
+		if err := res.Design.Validate(nil); err != nil {
+			t.Fatalf("cap %g: invalid: %v", pt.Cost, err)
+		}
+		if math.Abs(res.Design.Makespan-pt.Perf) > 1e-9 {
+			t.Errorf("cap %g: makespan %g, paper says %g", pt.Cost, res.Design.Makespan, pt.Perf)
+		}
+	}
+}
+
+// TestExample1MinCost mirrors the MILP MinCost test.
+func TestExample1MinCost(t *testing.T) {
+	cases := []struct{ deadline, wantCost float64 }{{7, 5}, {4, 7}, {3, 13}, {2.5, 14}}
+	for _, c := range cases {
+		res := synthOK(t, Options{Objective: MinCost, Deadline: c.deadline})
+		if res.Design == nil {
+			t.Fatalf("deadline %g: no design", c.deadline)
+		}
+		if math.Abs(res.Design.Cost-c.wantCost) > 1e-9 {
+			t.Errorf("deadline %g: cost %g, want %g", c.deadline, res.Design.Cost, c.wantCost)
+		}
+	}
+}
+
+// TestExample1SimulatorAgreement: every design the engine emits must replay
+// cleanly on the discrete-event machine, and its self-timed execution can
+// only compress, never stretch.
+func TestExample1SimulatorAgreement(t *testing.T) {
+	for _, cap := range []float64{14, 13, 7, 5} {
+		res := synthOK(t, Options{Objective: MinMakespan, CostCap: cap})
+		tr, err := sim.Replay(res.Design)
+		if err != nil {
+			t.Fatalf("cap %g: replay: %v", cap, err)
+		}
+		if math.Abs(tr.Makespan-res.Design.Makespan) > 1e-9 {
+			t.Errorf("cap %g: replay makespan %g != design %g", cap, tr.Makespan, res.Design.Makespan)
+		}
+		st, err := sim.SelfTimed(res.Design)
+		if err != nil {
+			t.Fatalf("cap %g: self-timed: %v", cap, err)
+		}
+		if st.Makespan > res.Design.Makespan+1e-9 {
+			t.Errorf("cap %g: self-timed makespan %g exceeds schedule %g", cap, st.Makespan, res.Design.Makespan)
+		}
+	}
+}
+
+// TestExample2Table4 reproduces the point-to-point frontier of Table IV.
+func TestExample2Table4(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for _, pt := range expts.Table4 {
+		res, err := Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+			Options{Objective: MinMakespan, CostCap: pt.Cost, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal || res.Design == nil {
+			t.Fatalf("cap %g: not solved (optimal=%v)", pt.Cost, res.Optimal)
+		}
+		if err := res.Design.Validate(nil); err != nil {
+			t.Fatalf("cap %g: invalid: %v", pt.Cost, err)
+		}
+		if math.Abs(res.Design.Makespan-pt.Perf) > 1e-9 {
+			t.Errorf("cap %g: makespan %g, paper says %g", pt.Cost, res.Design.Makespan, pt.Perf)
+		}
+	}
+}
+
+// TestExample2Table5 reproduces the bus frontier of Table V.
+func TestExample2Table5(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for _, pt := range expts.Table5 {
+		res, err := Synthesize(context.Background(), g, pool, arch.Bus{},
+			Options{Objective: MinMakespan, CostCap: pt.Cost, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal || res.Design == nil {
+			t.Fatalf("cap %g: not solved", pt.Cost)
+		}
+		if err := res.Design.Validate(nil); err != nil {
+			t.Fatalf("cap %g: invalid: %v", pt.Cost, err)
+		}
+		if math.Abs(res.Design.Makespan-pt.Perf) > 1e-9 {
+			t.Errorf("cap %g: makespan %g, paper says %g", pt.Cost, res.Design.Makespan, pt.Perf)
+		}
+	}
+}
+
+// TestOptimalScheduleFixedMapping checks the disjunctive scheduler on the
+// paper's Design 1 mapping (Figure 2): S1→p1a, S2,S4→p2a, S3→p3a gives
+// makespan 2.5.
+func TestOptimalScheduleFixedMapping(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	var p1a, p2a, p3a arch.ProcID
+	for _, p := range pool.Procs() {
+		switch p.Name {
+		case "p1a":
+			p1a = p.ID
+		case "p2a":
+			p2a = p.ID
+		case "p3a":
+			p3a = p.ID
+		}
+	}
+	d := OptimalSchedule(g, pool, arch.PointToPoint{}, []arch.ProcID{p1a, p2a, p3a, p2a})
+	if d == nil {
+		t.Fatal("no schedule")
+	}
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if math.Abs(d.Makespan-2.5) > 1e-9 {
+		t.Errorf("makespan %g, want 2.5 (paper Figure 2)", d.Makespan)
+	}
+}
+
+// TestRingSynthesis exercises the §5 ring topology end to end.
+func TestRingSynthesis(t *testing.T) {
+	res := synthOK(t, Options{Objective: MinMakespan}, arch.Ring{})
+	if res.Design == nil {
+		t.Fatal("no design")
+	}
+	if err := res.Design.Validate(nil); err != nil {
+		t.Fatalf("invalid ring design: %v", err)
+	}
+	// A ring design can never beat point-to-point (its delays dominate).
+	p2p := synthOK(t, Options{Objective: MinMakespan})
+	if res.Design.Makespan < p2p.Design.Makespan-1e-9 {
+		t.Errorf("ring makespan %g beats p2p %g", res.Design.Makespan, p2p.Design.Makespan)
+	}
+}
+
+// TestUniprocessorSchedule sanity: mapping everything onto one processor
+// serializes with local (free) transfers.
+func TestUniprocessorSchedule(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	var p2a arch.ProcID
+	for _, p := range pool.Procs() {
+		if p.Name == "p2a" {
+			p2a = p.ID
+		}
+	}
+	d := OptimalSchedule(g, pool, arch.PointToPoint{}, []arch.ProcID{p2a, p2a, p2a, p2a})
+	if d == nil {
+		t.Fatal("no schedule")
+	}
+	if math.Abs(d.Makespan-7) > 1e-9 {
+		t.Errorf("makespan %g, want 7", d.Makespan)
+	}
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+// TestBudgetReturnsIncumbent: a tiny node budget must not report Optimal.
+func TestBudgetReturnsIncumbent(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		Options{Objective: MinMakespan, MaxNodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Error("5-node budget claimed optimality")
+	}
+}
+
+// TestCanceledContext stops promptly.
+func TestCanceledContext(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Synthesize(ctx, g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Error("canceled search claimed optimality")
+	}
+}
+
+// TestExample2DesignShapes cross-checks the structure of the published
+// Example 2 designs: at cap 12 the engine must find a cost-12 3-processor
+// system (p1×2 + p3) with performance 6, like the paper's Design 2.
+func TestExample2DesignShapes(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		Options{Objective: MinMakespan, CostCap: 12, TimeLimit: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design == nil || !res.Optimal {
+		t.Fatal("cap 12 not solved")
+	}
+	if math.Abs(res.Design.Makespan-6) > 1e-9 {
+		t.Fatalf("cap 12 makespan %g, want 6", res.Design.Makespan)
+	}
+	// Tighten cost at this performance.
+	res2, err := Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		Options{Objective: MinCost, Deadline: 6, TimeLimit: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Design == nil || !res2.Optimal {
+		t.Fatal("cost tightening failed")
+	}
+	if math.Abs(res2.Design.Cost-12) > 1e-9 {
+		t.Errorf("min cost at deadline 6 is %g, paper's Design 2 costs 12", res2.Design.Cost)
+	}
+}

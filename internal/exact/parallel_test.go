@@ -1,0 +1,130 @@
+package exact
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// TestParallelMatchesSerialOnExample2 runs the Table IV caps with 1, 2,
+// and 4 workers; every run must find the same optimal makespans.
+func TestParallelMatchesSerialOnExample2(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	for _, pt := range expts.Table4 {
+		for _, workers := range []int{1, 2, 4} {
+			res, err := SynthesizeParallel(context.Background(), g, pool, arch.PointToPoint{},
+				Options{Objective: MinMakespan, CostCap: pt.Cost, TimeLimit: 2 * time.Minute}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Optimal || res.Design == nil {
+				t.Fatalf("cap %g workers %d: not solved", pt.Cost, workers)
+			}
+			if math.Abs(res.Design.Makespan-pt.Perf) > 1e-9 {
+				t.Errorf("cap %g workers %d: makespan %g, want %g",
+					pt.Cost, workers, res.Design.Makespan, pt.Perf)
+			}
+			if err := res.Design.Validate(nil); err != nil {
+				t.Errorf("cap %g workers %d: invalid: %v", pt.Cost, workers, err)
+			}
+		}
+	}
+}
+
+// TestParallelRandomAgreement cross-checks parallel vs serial optima on
+// random instances (run with -race in CI to catch sharing bugs).
+func TestParallelRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 20; trial++ {
+		g := taskgraph.Random(rng, taskgraph.RandomSpec{
+			Subtasks:  3 + rng.Intn(5),
+			ArcProb:   0.35,
+			Fractions: trial%2 == 0,
+		})
+		g.MustFreeze()
+		lib := arch.RandomLibrary(rng, g, 3)
+		pool := arch.AutoPool(lib, g, 2)
+		serial, err := Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+			Options{Objective: MinMakespan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := SynthesizeParallel(context.Background(), g, pool, arch.PointToPoint{},
+			Options{Objective: MinMakespan}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Design == nil || par.Design == nil {
+			t.Fatalf("trial %d: missing design", trial)
+		}
+		if math.Abs(serial.Design.Makespan-par.Design.Makespan) > 1e-9 {
+			t.Fatalf("trial %d: serial %g vs parallel %g",
+				trial, serial.Design.Makespan, par.Design.Makespan)
+		}
+	}
+}
+
+// TestParallelMinCost checks the MinCost objective under parallel search.
+func TestParallelMinCost(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	res, err := SynthesizeParallel(context.Background(), g, pool, arch.PointToPoint{},
+		Options{Objective: MinCost, Deadline: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design == nil || math.Abs(res.Design.Cost-7) > 1e-9 {
+		t.Fatalf("parallel MinCost deadline 4: %+v", res)
+	}
+}
+
+// TestParallelSingleWorkerDelegates: workers=1 must behave exactly like
+// the serial entry point.
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	res, err := SynthesizeParallel(context.Background(), g, pool, arch.PointToPoint{},
+		Options{Objective: MinMakespan}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || math.Abs(res.Design.Makespan-2.5) > 1e-9 {
+		t.Fatalf("workers=1: %+v", res)
+	}
+}
+
+// TestSharedIncumbentOffer unit-tests the cross-worker incumbent.
+func TestSharedIncumbentOffer(t *testing.T) {
+	si := newSharedIncumbent()
+	mk := func(perf float64) *schedule.Design {
+		return &schedule.Design{Makespan: perf}
+	}
+	if !si.offer(mk(10), 8, MinMakespan) {
+		t.Error("first offer rejected")
+	}
+	if si.offer(mk(10), 9, MinMakespan) {
+		t.Error("equal-perf costlier design accepted")
+	}
+	if !si.offer(mk(10), 7, MinMakespan) {
+		t.Error("equal-perf cheaper design rejected")
+	}
+	if !si.offer(mk(6), 20, MinMakespan) {
+		t.Error("faster costlier design rejected under MinMakespan")
+	}
+	if si.perf() != 6 || si.cost() != 20 {
+		t.Errorf("incumbent state perf=%g cost=%g", si.perf(), si.cost())
+	}
+	// MinCost: only cost matters.
+	sc := newSharedIncumbent()
+	if !sc.offer(mk(10), 8, MinCost) || sc.offer(mk(3), 9, MinCost) || !sc.offer(mk(12), 5, MinCost) {
+		t.Error("MinCost offer logic wrong")
+	}
+}

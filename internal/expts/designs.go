@@ -1,0 +1,104 @@
+package expts
+
+// The paper describes every design of its tables structurally: which
+// processor instances it uses, which subtasks run where and in what
+// order, and which links carry which data. This file encodes those
+// descriptions so tests can verify that each published design is feasible
+// in our model and achieves exactly its published cost and performance —
+// a much stronger fidelity check than matching the frontier alone.
+
+// PaperDesign is a published design: a subtask→processor mapping in the
+// paper's naming scheme plus its reported cost and performance.
+type PaperDesign struct {
+	Name string
+	// Mapping assigns each subtask (by 0-based index: S1 is 0) an
+	// instance name like "p1a", "p2a", "p1b".
+	Mapping []string
+	Cost    float64
+	Perf    float64
+}
+
+// Example1Designs are Table II's four systems as described in §4.1.
+var Example1Designs = []PaperDesign{
+	{
+		Name: "Design 1 (Figure 2)",
+		// p1a: S1; p2a: S2, S4; p3a: S3.
+		Mapping: []string{"p1a", "p2a", "p3a", "p2a"},
+		Cost:    14, Perf: 2.5,
+	},
+	{
+		Name: "Design 2",
+		// p1a: S1, S2; p2a: S4; p3a: S3.
+		Mapping: []string{"p1a", "p1a", "p3a", "p2a"},
+		Cost:    13, Perf: 3,
+	},
+	{
+		Name: "Design 3",
+		// p1a: S1, S4; p3a: S2, S3.
+		Mapping: []string{"p1a", "p3a", "p3a", "p1a"},
+		Cost:    7, Perf: 4,
+	},
+	{
+		Name: "Design 4",
+		// p2a alone.
+		Mapping: []string{"p2a", "p2a", "p2a", "p2a"},
+		Cost:    5, Perf: 7,
+	},
+}
+
+// Example2P2PDesigns are Table IV's five systems as described in §4.3.1.
+// Subtask order: S1..S9.
+var Example2P2PDesigns = []PaperDesign{
+	{
+		Name: "Design 1",
+		// p1a: S3,S6,S4; p2a: S2,S5,S9,S7; p3a: S1,S8.
+		Mapping: []string{"p3a", "p2a", "p1a", "p1a", "p2a", "p1a", "p2a", "p3a", "p2a"},
+		Cost:    15, Perf: 5,
+	},
+	{
+		Name: "Design 2",
+		// p1a: S1,S4,S7; p1b: S3,S6,S9; p3a: S2,S5,S8.
+		Mapping: []string{"p1a", "p3a", "p1b", "p1a", "p3a", "p1b", "p1a", "p3a", "p1b"},
+		Cost:    12, Perf: 6,
+	},
+	{
+		Name: "Design 3",
+		// p1a: S3,S6,S4,S7,S9; p3a: S1,S2,S5,S8.
+		Mapping: []string{"p3a", "p3a", "p1a", "p1a", "p3a", "p1a", "p1a", "p3a", "p1a"},
+		Cost:    8, Perf: 7,
+	},
+	{
+		Name: "Design 4",
+		// p1a: S3,S6,S1,S4,S7; p3a: S2,S5,S9,S8.
+		Mapping: []string{"p1a", "p3a", "p1a", "p1a", "p3a", "p1a", "p1a", "p3a", "p3a"},
+		Cost:    7, Perf: 8,
+	},
+	{
+		Name: "Design 5",
+		// p2a alone, in order S2,S1,S4,S5,S8,S3,S7,S6,S9.
+		Mapping: []string{"p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a"},
+		Cost:    5, Perf: 15,
+	},
+}
+
+// Example2BusDesigns are Table V's three systems as described in §4.3.2.
+var Example2BusDesigns = []PaperDesign{
+	{
+		Name: "Design 1",
+		// p1a: S1,S4,S7; p1b: S3,S6,S9; p3a: S2,S5,S8.
+		Mapping: []string{"p1a", "p3a", "p1b", "p1a", "p3a", "p1b", "p1a", "p3a", "p1b"},
+		Cost:    10, Perf: 6,
+	},
+	{
+		Name: "Design 2",
+		// p1a: S3,S6,S4,S7,S9; p3a: S1,S2,S5,S8.
+		Mapping: []string{"p3a", "p3a", "p1a", "p1a", "p3a", "p1a", "p1a", "p3a", "p1a"},
+		Cost:    6, Perf: 7,
+	},
+	{
+		Name: "Design 3",
+		// p2a alone.
+		Mapping: []string{"p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a", "p2a"},
+		Cost:    5, Perf: 15,
+	},
+}

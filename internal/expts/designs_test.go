@@ -1,0 +1,140 @@
+package expts
+
+import (
+	"math"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/sim"
+	"sos/internal/taskgraph"
+)
+
+// mappingFromNames resolves the paper's instance names to pool IDs.
+func mappingFromNames(t *testing.T, pool *arch.Instances, names []string) []arch.ProcID {
+	t.Helper()
+	byName := map[string]arch.ProcID{}
+	for _, p := range pool.Procs() {
+		byName[p.Name] = p.ID
+	}
+	out := make([]arch.ProcID, len(names))
+	for i, n := range names {
+		id, ok := byName[n]
+		if !ok {
+			t.Fatalf("pool has no instance named %q", n)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// checkPaperDesign schedules the published mapping optimally and compares
+// against the published cost and performance. Every published design must
+// be (a) feasible in our model, (b) achieve exactly its published
+// makespan under its own mapping, (c) cost exactly what the paper says,
+// and (d) replay cleanly on the discrete-event simulator.
+func checkPaperDesign(t *testing.T, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, pd PaperDesign) {
+	t.Helper()
+	mapping := mappingFromNames(t, pool, pd.Mapping)
+	d := exact.OptimalSchedule(g, pool, topo, mapping)
+	if d == nil {
+		t.Fatalf("%s: mapping admits no schedule", pd.Name)
+	}
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("%s: invalid: %v", pd.Name, err)
+	}
+	if math.Abs(d.Cost-pd.Cost) > 1e-9 {
+		t.Errorf("%s: cost %g, paper says %g", pd.Name, d.Cost, pd.Cost)
+	}
+	if math.Abs(d.Makespan-pd.Perf) > 1e-9 {
+		t.Errorf("%s: makespan %g, paper says %g\n%s", pd.Name, d.Makespan, pd.Perf, d.Gantt(64))
+	}
+	if _, err := sim.Replay(d); err != nil {
+		t.Errorf("%s: replay: %v", pd.Name, err)
+	}
+}
+
+// TestExample1PublishedDesigns verifies all four Table II designs
+// structurally.
+func TestExample1PublishedDesigns(t *testing.T) {
+	g, lib := Example1()
+	pool := Example1Pool(lib)
+	for _, pd := range Example1Designs {
+		checkPaperDesign(t, g, pool, arch.PointToPoint{}, pd)
+	}
+}
+
+// TestExample2PublishedP2PDesigns verifies all five Table IV designs.
+func TestExample2PublishedP2PDesigns(t *testing.T) {
+	g, lib := Example2()
+	pool := Example2Pool(lib)
+	for _, pd := range Example2P2PDesigns {
+		checkPaperDesign(t, g, pool, arch.PointToPoint{}, pd)
+	}
+}
+
+// TestExample2PublishedBusDesigns verifies all three Table V designs.
+func TestExample2PublishedBusDesigns(t *testing.T) {
+	g, lib := Example2()
+	pool := Example2Pool(lib)
+	for _, pd := range Example2BusDesigns {
+		checkPaperDesign(t, g, pool, arch.Bus{}, pd)
+	}
+}
+
+// TestDesign1TransferRouting verifies the link-level description of
+// Example 2 Design 1: i9,2 and i7,2 cross l(p1a,p2a); i8,1 crosses
+// l(p1a,p3a); i8,2 crosses l(p2a,p3a) (printed as "i9,1" in the paper — a
+// misprint, see Example2's doc comment); i4,1 crosses l(p3a,p1a).
+func TestDesign1TransferRouting(t *testing.T) {
+	g, lib := Example2()
+	pool := Example2Pool(lib)
+	mapping := mappingFromNames(t, pool, Example2P2PDesigns[0].Mapping)
+	d := exact.OptimalSchedule(g, pool, arch.PointToPoint{}, mapping)
+	if d == nil {
+		t.Fatal("no schedule")
+	}
+	// Expected remote arcs by (src,dst) subtask pair.
+	remote := map[[2]int]bool{}
+	for _, tr := range d.Transfers {
+		a := g.Arc(tr.Arc)
+		if tr.Remote {
+			remote[[2]int{int(a.Src) + 1, int(a.Dst) + 1}] = true
+		}
+	}
+	want := [][2]int{{1, 4}, {6, 9}, {4, 7}, {4, 8}, {5, 8}}
+	if len(remote) != len(want) {
+		t.Fatalf("%d remote transfers, want %d (%v)", len(remote), len(want), remote)
+	}
+	for _, w := range want {
+		if !remote[w] {
+			t.Errorf("expected S%d→S%d to be remote", w[0], w[1])
+		}
+	}
+	if len(d.Links) != 4 {
+		t.Errorf("%d links, paper says 4", len(d.Links))
+	}
+}
+
+// TestPublishedDesignsAreOnOurFrontier: every published design point must
+// be dominated-or-equaled by our computed frontier (they are all exactly
+// on it).
+func TestPublishedDesignsAreOnOurFrontier(t *testing.T) {
+	check := func(published []PaperDesign, frontier []ParetoPoint) {
+		t.Helper()
+		for _, pd := range published {
+			found := false
+			for _, f := range frontier {
+				if f.Cost == pd.Cost && f.Perf == pd.Perf {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s (%g,%g) not on the expected frontier", pd.Name, pd.Cost, pd.Perf)
+			}
+		}
+	}
+	check(Example1Designs, Table2)
+	check(Example2P2PDesigns, Table4)
+	check(Example2BusDesigns, Table5)
+}

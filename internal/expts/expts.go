@@ -1,0 +1,164 @@
+// Package expts holds the concrete problem instances of the SOS paper's
+// Section 4 — the Example 1 four-subtask graph (Figure 1, Table I) and the
+// Example 2 nine-subtask graph (Figure 3, Table III) — together with the
+// published results they must reproduce (Tables II, IV, V and the §4.2
+// tradeoff studies).
+package expts
+
+import (
+	"sos/internal/arch"
+	"sos/internal/taskgraph"
+)
+
+// Example1 returns the four-subtask task graph of Figure 1 and the
+// processor library of Table I.
+//
+// Graph reconstruction notes. Figure 1 lists six inputs and six outputs
+// with their f_R/f_A parameters. Cross-referencing the four designs of
+// Table II pins down the internal arcs:
+//
+//	o_{1,1} (f_A=0.50) → i_{3,1} (f_R=0.25)   S1→S3
+//	o_{1,2} (f_A=0.75) → i_{4,1} (f_R=0.25)   S1→S4
+//	o_{2,1} (f_A=0.50) → i_{3,2} (f_R=0.50)   S2→S3
+//
+// i_{1,1}, i_{2,1}, i_{4,2} are external inputs (available at time 0, so
+// they constrain nothing); o_{2,2}, o_{3,1}, o_{4,1} are external outputs.
+// Every arc carries one unit of data; D_CL = 0, D_CR = 1, C_L = 1.
+func Example1() (*taskgraph.Graph, *arch.Library) {
+	g := taskgraph.New("example1")
+	s1 := g.AddSubtask("S1")
+	s2 := g.AddSubtask("S2")
+	s3 := g.AddSubtask("S3")
+	s4 := g.AddSubtask("S4")
+	g.AddArc(s1, s3, taskgraph.ArcSpec{Volume: 1, FR: 0.25, FA: 0.50, SrcPort: 1, DstPort: 1}) // o11→i31
+	g.AddArc(s1, s4, taskgraph.ArcSpec{Volume: 1, FR: 0.25, FA: 0.75, SrcPort: 2, DstPort: 1}) // o12→i41
+	g.AddArc(s2, s3, taskgraph.ArcSpec{Volume: 1, FR: 0.50, FA: 0.50, SrcPort: 1, DstPort: 2}) // o21→i32
+	g.MustFreeze()
+
+	lib := arch.NewLibrary("table1", 1, 1, 0)
+	//                     S1  S2  S3           S4
+	lib.AddType("p1", 4, []float64{1, 1, 12, 3})
+	lib.AddType("p2", 5, []float64{3, 1, 2, 1})
+	lib.AddType("p3", 2, []float64{arch.NoTime, 3, 1, arch.NoTime})
+	return g, lib
+}
+
+// Example1Pool returns the processor instance pool used for the Example 1
+// experiments: two instances of each type — enough to express every design
+// the paper reports, including the two-×p1 designs that appear in the
+// §4.2.2 scaled variants.
+func Example1Pool(lib *arch.Library) *arch.Instances {
+	return arch.InstancePool(lib, []int{2, 2, 2})
+}
+
+// Example1Strict returns the Example 1 graph with traditional dataflow
+// semantics (every f_R = 0, every f_A = 1) in place of Figure 1's
+// fractional parameters. The §4.2.1 communication-scaling study only
+// reproduces the paper's frontier counts under these semantics — under the
+// fractional parameters the best 3-processor design still reaches makespan
+// 3.5 < 4 at doubled volumes and stays non-inferior — so the study was
+// evidently run with the traditional model (as Example 2 explicitly is).
+func Example1Strict() (*taskgraph.Graph, *arch.Library) {
+	g, lib := Example1()
+	ng := taskgraph.New(g.Name + "-strict")
+	for _, s := range g.Subtasks() {
+		ng.AddSubtask(s.Name)
+	}
+	for _, a := range g.Arcs() {
+		ng.AddArc(a.Src, a.Dst, taskgraph.ArcSpec{
+			Volume: a.Volume, FR: 0, FA: 1, SrcPort: a.SrcPort, DstPort: a.DstPort,
+		})
+	}
+	ng.MustFreeze()
+	return ng, lib
+}
+
+// ParetoPoint is one non-inferior (cost, performance) design point.
+type ParetoPoint struct {
+	Cost float64
+	Perf float64
+}
+
+// Table2 is the published Example 1 non-inferior set (point-to-point).
+var Table2 = []ParetoPoint{{14, 2.5}, {13, 3}, {7, 4}, {5, 7}}
+
+// Table2Full is the complete non-inferior set our exhaustive sweep finds.
+// It extends Table II with one point the paper did not report: a single
+// processor of type p1 (cost 4) executes all four subtasks serially in
+// 1+1+12+3 = 17 time units, which is non-inferior (strictly cheaper than
+// every published design, slower than all of them). The paper states Bozo
+// "was used to generate 4 non-inferior systems", i.e. the sweep was not
+// carried below cost 5. Both of our exact engines find this fifth point.
+var Table2Full = append(append([]ParetoPoint(nil), Table2...), ParetoPoint{4, 17})
+
+// Exp1VolX2 is the §4.2.1 result with all volumes doubled: only the
+// 2-processor and uniprocessor designs remain non-inferior.
+// Costs/performances are not printed in the paper; the frontier sizes and
+// processor counts are, which is what the reproduction checks.
+const (
+	Exp1VolX2Designs  = 2
+	Exp1VolX6Designs  = 1
+	Exp2SizeX2Designs = 5
+	Exp2SizeX3Designs = 7
+)
+
+// Example2 returns the nine-subtask graph of Figure 3 and the processor
+// library of Table III. For this example the paper uses strict dataflow
+// semantics: every input is required at start (f_R = 0) and every output
+// appears at completion (f_A = 1).
+//
+// Graph reconstruction notes. Figure 3's arc set is recovered from the
+// transfer lists of the eight published designs (five point-to-point,
+// three bus). The unique arc set consistent with every design is three
+// chains feeding a cross-connected third layer:
+//
+//	S1→S4 (i_{4,1})   S2→S5 (i_{5,1})   S3→S6 (i_{6,1})
+//	S4→S7 (i_{7,2})   S4→S8 (i_{8,1})   S5→S8 (i_{8,2})
+//	S5→S9 (i_{9,1})   S6→S9 (i_{9,2})
+//
+// (S7's port 1 is an external input, which is why its graph input is
+// labeled i_{7,2}.) Design 1's "data i_{9,1} gets transmitted on link
+// l_{2a,3a}" is a misprint for i_{8,2}: S9 is mapped to p_{2a} in that
+// design, so no input of S9 can arrive over a link *into* p_{3a}, while
+// S8's second input from S5 (p_{2a}→p_{3a}) fits exactly. All other
+// transfers in all eight designs are consistent with this arc set.
+// Every arc carries one unit of data; D_CL = 0, D_CR = 1, C_L = 1.
+func Example2() (*taskgraph.Graph, *arch.Library) {
+	g := taskgraph.New("example2")
+	ids := make([]taskgraph.SubtaskID, 10)
+	for i := 1; i <= 9; i++ {
+		ids[i] = g.AddSubtask("")
+	}
+	strict := func(srcPort, dstPort int) taskgraph.ArcSpec {
+		return taskgraph.ArcSpec{Volume: 1, FR: 0, FA: 1, SrcPort: srcPort, DstPort: dstPort}
+	}
+	g.AddArc(ids[1], ids[4], strict(1, 1)) // i41
+	g.AddArc(ids[2], ids[5], strict(1, 1)) // i51
+	g.AddArc(ids[3], ids[6], strict(1, 1)) // i61
+	g.AddArc(ids[4], ids[7], strict(1, 2)) // i72
+	g.AddArc(ids[4], ids[8], strict(2, 1)) // i81
+	g.AddArc(ids[5], ids[8], strict(1, 2)) // i82
+	g.AddArc(ids[5], ids[9], strict(2, 1)) // i91
+	g.AddArc(ids[6], ids[9], strict(1, 2)) // i92
+	g.MustFreeze()
+
+	lib := arch.NewLibrary("table3", 1, 1, 0)
+	//                              S1 S2 S3 S4            S5 S6 S7 S8            S9
+	lib.AddType("p1", 4, []float64{2, 2, 1, 1, 1, 1, 3, arch.NoTime, 1})
+	lib.AddType("p2", 5, []float64{3, 1, 1, 3, 1, 2, 1, 2, 1})
+	lib.AddType("p3", 2, []float64{1, 1, 2, arch.NoTime, 3, 1, 4, 1, 3})
+	return g, lib
+}
+
+// Example2Pool returns the instance pool for the Example 2 experiments: two
+// instances per type, enough for every published design (the largest uses
+// p1×2 + p3).
+func Example2Pool(lib *arch.Library) *arch.Instances {
+	return arch.InstancePool(lib, []int{2, 2, 2})
+}
+
+// Table4 is the published Example 2 point-to-point non-inferior set.
+var Table4 = []ParetoPoint{{15, 5}, {12, 6}, {8, 7}, {7, 8}, {5, 15}}
+
+// Table5 is the published Example 2 bus-style non-inferior set.
+var Table5 = []ParetoPoint{{10, 6}, {6, 7}, {5, 15}}

@@ -1,0 +1,122 @@
+package heur
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/taskgraph"
+)
+
+func allProcs(pool *arch.Instances) []arch.ProcID {
+	procs := make([]arch.ProcID, pool.NumProcs())
+	for i := range procs {
+		procs[i] = arch.ProcID(i)
+	}
+	return procs
+}
+
+func TestHLFETExample1(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	d, err := HLFET(g, pool, arch.PointToPoint{}, allProcs(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if d.Makespan < 2.5-1e-9 {
+		t.Errorf("HLFET makespan %g beats the proven optimum 2.5", d.Makespan)
+	}
+}
+
+func TestHLFETRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		g := taskgraph.Random(rng, taskgraph.RandomSpec{
+			Subtasks: 2 + rng.Intn(8), ArcProb: 0.3, Fractions: trial%2 == 0,
+		})
+		g.MustFreeze()
+		lib := arch.RandomLibrary(rng, g, 2)
+		pool := arch.AutoPool(lib, g, 2)
+		for _, topo := range []arch.Topology{arch.PointToPoint{}, arch.Bus{}} {
+			d, err := HLFET(g, pool, topo, allProcs(pool))
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := d.Validate(nil); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, topo.Name(), err)
+			}
+		}
+	}
+}
+
+func TestAnnealExample1(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	d, err := Anneal(context.Background(), g, pool, arch.PointToPoint{}, AnnealOptions{
+		Iterations: 3000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if d.Makespan < 2.5-1e-9 {
+		t.Errorf("annealing makespan %g beats the proven optimum", d.Makespan)
+	}
+	// With this budget annealing should at least reach the 2-processor
+	// quality region.
+	if d.Makespan > 7+1e-9 {
+		t.Errorf("annealing makespan %g worse than the uniprocessor", d.Makespan)
+	}
+}
+
+func TestAnnealRespectsCostCap(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	d, err := Anneal(context.Background(), g, pool, arch.PointToPoint{}, AnnealOptions{
+		CostCap: 7, Iterations: 2000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost > 7+1e-9 {
+		t.Errorf("annealing design cost %g over cap 7", d.Cost)
+	}
+	if d.Makespan < 4-1e-9 {
+		t.Errorf("annealing makespan %g beats the cap-7 optimum 4", d.Makespan)
+	}
+}
+
+func TestAnnealDeterministicForSeed(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	run := func() float64 {
+		d, err := Anneal(context.Background(), g, pool, arch.PointToPoint{}, AnnealOptions{
+			Iterations: 1000, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced %g and %g", a, b)
+	}
+}
+
+func TestAnnealCanceledContext(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Must still return the initial evaluation rather than hanging.
+	if _, err := Anneal(ctx, g, pool, arch.PointToPoint{}, AnnealOptions{Iterations: 1 << 20}); err != nil {
+		t.Fatalf("canceled anneal: %v", err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package heur provides heuristic schedulers and synthesizers: a
+// fixed-mapping list scheduler, an ETF (earliest-task-first) mapper in the
+// style of the communication-aware list-scheduling literature the paper
+// surveys, and a configuration-enumerating greedy synthesizer in the spirit
+// of Talukdar & Mehrotra. These serve as comparison baselines and as
+// warm-start incumbents for the exact MILP search.
+package heur
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// state carries the shared machinery of the greedy schedulers.
+type state struct {
+	g    *taskgraph.Graph
+	pool *arch.Instances
+	topo arch.Topology
+	n    int
+
+	procTL map[arch.ProcID]*timeline
+	linkTL map[arch.LinkID]*timeline
+
+	placed    []bool
+	assign    []schedule.Assignment
+	transfers []schedule.Transfer
+}
+
+func newState(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology) *state {
+	return &state{
+		g:         g,
+		pool:      pool,
+		topo:      topo,
+		n:         pool.NumProcs(),
+		procTL:    map[arch.ProcID]*timeline{},
+		linkTL:    map[arch.LinkID]*timeline{},
+		placed:    make([]bool, g.NumSubtasks()),
+		assign:    make([]schedule.Assignment, g.NumSubtasks()),
+		transfers: make([]schedule.Transfer, g.NumArcs()),
+	}
+}
+
+func (st *state) proc(d arch.ProcID) *timeline {
+	tl := st.procTL[d]
+	if tl == nil {
+		tl = &timeline{}
+		st.procTL[d] = tl
+	}
+	return tl
+}
+
+func (st *state) link(l arch.LinkID) *timeline {
+	tl := st.linkTL[l]
+	if tl == nil {
+		tl = &timeline{}
+		st.linkTL[l] = tl
+	}
+	return tl
+}
+
+// xferPlan is a tentative schedule for one incoming transfer.
+type xferPlan struct {
+	arc    taskgraph.ArcID
+	remote bool
+	links  []arch.LinkID
+	start  float64
+	end    float64
+	// startLB is the implied lower bound on the consumer's start time:
+	// end − f_R · dur(consumer).
+	startLB float64
+}
+
+// planInputs computes, without committing, the ASAP transfer schedule for
+// every input of task a if it were executed on processor d with duration
+// dur. Requires every predecessor of a to be placed.
+func (st *state) planInputs(a taskgraph.SubtaskID, d arch.ProcID, dur float64) ([]xferPlan, error) {
+	lib := st.pool.Library()
+	var plans []xferPlan
+	// Tentative link reservations within this plan must see each other,
+	// so clone the affected timelines lazily.
+	temp := map[arch.LinkID]*timeline{}
+	tlFor := func(l arch.LinkID) *timeline {
+		if tl, ok := temp[l]; ok {
+			return tl
+		}
+		tl := st.link(l).clone()
+		temp[l] = tl
+		return tl
+	}
+	for _, aid := range st.g.In(a) {
+		arc := st.g.Arc(aid)
+		if !st.placed[arc.Src] {
+			return nil, fmt.Errorf("heur: predecessor %s of %s not yet placed",
+				st.g.Subtask(arc.Src).Name, st.g.Subtask(a).Name)
+		}
+		src := st.assign[arc.Src]
+		avail := src.Start + arc.FA*(src.End-src.Start)
+		p := xferPlan{arc: aid}
+		if src.Proc == d {
+			p.remote = false
+			p.start = avail
+			p.end = avail + lib.LocalDelay*arc.Volume
+		} else {
+			p.remote = true
+			p.links = st.topo.Path(st.n, src.Proc, d)
+			delay := st.topo.DelayPerUnit(lib, st.n, src.Proc, d) * arc.Volume
+			// The transfer occupies every resource on its path for the
+			// same window; find the earliest window free on all of them.
+			t := avail
+			for settled := false; !settled; {
+				settled = true
+				for _, l := range p.links {
+					if ft := tlFor(l).earliestFit(t, delay); ft > t {
+						t = ft
+						settled = false
+					}
+				}
+			}
+			p.start = t
+			p.end = t + delay
+			for _, l := range p.links {
+				tlFor(l).reserve(p.start, delay)
+			}
+		}
+		p.startLB = p.end - arc.FR*dur
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// commit places task a on proc d at the given start with the planned
+// transfers.
+func (st *state) commit(a taskgraph.SubtaskID, d arch.ProcID, start, dur float64, plans []xferPlan) {
+	lib := st.pool.Library()
+	for _, p := range plans {
+		tr := schedule.Transfer{
+			Arc:    p.arc,
+			From:   st.assign[st.g.Arc(p.arc).Src].Proc,
+			To:     d,
+			Remote: p.remote,
+			Links:  p.links,
+			Start:  p.start,
+			End:    p.end,
+		}
+		if p.remote {
+			delay := tr.End - tr.Start
+			for _, l := range p.links {
+				st.link(l).reserve(tr.Start, delay)
+			}
+		} else {
+			tr.End = tr.Start + lib.LocalDelay*st.g.Arc(p.arc).Volume
+		}
+		st.transfers[p.arc] = tr
+	}
+	st.proc(d).reserve(start, dur)
+	st.assign[a] = schedule.Assignment{Task: a, Proc: d, Start: start, End: start + dur}
+	st.placed[a] = true
+}
+
+// design assembles the final Design.
+func (st *state) design() *schedule.Design {
+	d := &schedule.Design{
+		Graph:       st.g,
+		Pool:        st.pool,
+		Topo:        st.topo,
+		Assignments: st.assign,
+		Transfers:   st.transfers,
+	}
+	d.DeriveResources()
+	return d
+}
+
+// ListSchedule builds a feasible schedule for a fixed subtask→processor
+// mapping using bottom-level priorities and ASAP transfer placement. It is
+// a baseline in the tradition of the list-scheduling literature the paper
+// cites (ELS/ETF/MH), restricted to a given mapping.
+func ListSchedule(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, mapping []arch.ProcID) (*schedule.Design, error) {
+	if len(mapping) != g.NumSubtasks() {
+		return nil, fmt.Errorf("heur: mapping has %d entries for %d subtasks", len(mapping), g.NumSubtasks())
+	}
+	for _, s := range g.Subtasks() {
+		if !pool.CanRun(mapping[s.ID], s.ID) {
+			return nil, fmt.Errorf("heur: %s cannot run on %s", s.Name, pool.Proc(mapping[s.ID]).Name)
+		}
+	}
+	st := newState(g, pool, topo)
+	dur := func(a taskgraph.SubtaskID) float64 { return pool.Exec(mapping[a], a) }
+	bl := g.BottomLevel(dur)
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Stable priority order: topological, ties broken by deeper bottom
+	// level first (classic highest-level-first).
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := level(g, order[i]), level(g, order[j])
+		if li != lj {
+			return li < lj
+		}
+		if bl[order[i]] != bl[order[j]] {
+			return bl[order[i]] > bl[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, a := range order {
+		d := mapping[a]
+		dd := dur(a)
+		plans, err := st.planInputs(a, d, dd)
+		if err != nil {
+			return nil, err
+		}
+		lb := 0.0
+		for _, p := range plans {
+			if p.startLB > lb {
+				lb = p.startLB
+			}
+		}
+		start := st.proc(d).earliestFit(lb, dd)
+		st.commit(a, d, start, dd, plans)
+	}
+	return st.design(), nil
+}
+
+// level memoizes nothing; graphs here are small.
+func level(g *taskgraph.Graph, a taskgraph.SubtaskID) int {
+	lvl := g.Level()
+	return lvl[a]
+}
+
+// ErrNotSchedulable is returned when no capable processor exists for some
+// task in the offered pool.
+var ErrNotSchedulable = fmt.Errorf("heur: task has no capable processor in pool")
+
+// ETF maps and schedules the graph onto a fixed set of processor instances
+// using the earliest-task-first rule: repeatedly pick, over all ready
+// subtasks and all capable processors, the (subtask, processor) pair with
+// the earliest achievable finish time, commit it, and continue. ASAP
+// transfer placement with link contention is included in the evaluation.
+func ETF(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, procs []arch.ProcID) (*schedule.Design, error) {
+	st := newState(g, pool, topo)
+	remainingPreds := make([]int, g.NumSubtasks())
+	for _, a := range g.Arcs() {
+		remainingPreds[a.Dst]++
+	}
+	var ready []taskgraph.SubtaskID
+	for _, s := range g.Subtasks() {
+		if remainingPreds[s.ID] == 0 {
+			ready = append(ready, s.ID)
+		}
+	}
+	allowed := map[arch.ProcID]bool{}
+	for _, p := range procs {
+		allowed[p] = true
+	}
+	for len(ready) > 0 {
+		type cand struct {
+			task   taskgraph.SubtaskID
+			proc   arch.ProcID
+			start  float64
+			dur    float64
+			finish float64
+			plans  []xferPlan
+		}
+		best := cand{finish: math.Inf(1)}
+		for _, a := range ready {
+			for _, d := range st.pool.Capable(a) {
+				if !allowed[d] {
+					continue
+				}
+				dd := st.pool.Exec(d, a)
+				plans, err := st.planInputs(a, d, dd)
+				if err != nil {
+					return nil, err
+				}
+				lb := 0.0
+				for _, p := range plans {
+					if p.startLB > lb {
+						lb = p.startLB
+					}
+				}
+				start := st.proc(d).earliestFit(lb, dd)
+				fin := start + dd
+				if fin < best.finish-1e-12 ||
+					(math.Abs(fin-best.finish) <= 1e-12 && (a < best.task || (a == best.task && d < best.proc))) {
+					best = cand{task: a, proc: d, start: start, dur: dd, finish: fin, plans: plans}
+				}
+			}
+		}
+		if math.IsInf(best.finish, 1) {
+			return nil, ErrNotSchedulable
+		}
+		st.commit(best.task, best.proc, best.start, best.dur, best.plans)
+		for i, a := range ready {
+			if a == best.task {
+				ready = append(ready[:i], ready[i+1:]...)
+				break
+			}
+		}
+		for _, aid := range g.Out(best.task) {
+			dst := g.Arc(aid).Dst
+			remainingPreds[dst]--
+			if remainingPreds[dst] == 0 {
+				ready = append(ready, dst)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	return st.design(), nil
+}

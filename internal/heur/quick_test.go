@@ -1,0 +1,100 @@
+package heur
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickTimelineNoOverlap: after any sequence of earliestFit+reserve
+// operations, the busy intervals never overlap and stay sorted.
+func TestQuickTimelineNoOverlap(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := &timeline{}
+		n := 1 + int(ops%40)
+		for i := 0; i < n; i++ {
+			t0 := rng.Float64() * 50
+			dur := rng.Float64() * 5
+			start := tl.earliestFit(t0, dur)
+			if start < t0 {
+				return false
+			}
+			tl.reserve(start, dur)
+		}
+		if !sort.SliceIsSorted(tl.busy, func(i, j int) bool {
+			return tl.busy[i].Start < tl.busy[j].Start
+		}) {
+			return false
+		}
+		for i := 1; i < len(tl.busy); i++ {
+			if tl.busy[i].Start < tl.busy[i-1].End-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEarliestFitIsEarliest: the returned slot is minimal — no valid
+// placement exists strictly earlier (probed on a grid).
+func TestQuickEarliestFitIsEarliest(t *testing.T) {
+	fits := func(tl *timeline, start, dur float64) bool {
+		for _, iv := range tl.busy {
+			if start < iv.End-1e-12 && iv.Start < start+dur-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := &timeline{}
+		for i := 0; i < 8; i++ {
+			s := rng.Float64() * 30
+			d := 0.5 + rng.Float64()*3
+			if fits(tl, s, d) {
+				tl.reserve(s, d)
+			}
+		}
+		t0 := rng.Float64() * 20
+		dur := 0.5 + rng.Float64()*4
+		got := tl.earliestFit(t0, dur)
+		if !fits(tl, got, dur) {
+			return false
+		}
+		// Probe earlier candidates on a fine grid.
+		for probe := t0; probe < got-1e-6; probe += 0.05 {
+			if fits(tl, probe, dur) {
+				return false // found an earlier valid slot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClonedTimelineIndependent: mutating a clone never affects the
+// original.
+func TestQuickClonedTimelineIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := &timeline{}
+		for i := 0; i < 5; i++ {
+			tl.reserve(tl.earliestFit(rng.Float64()*10, 1), 1)
+		}
+		before := len(tl.busy)
+		c := tl.clone()
+		c.reserve(c.earliestFit(100, 2), 2)
+		return len(tl.busy) == before && len(c.busy) == before+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package heur
+
+import (
+	"fmt"
+	"math"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// SynthOptions configures the greedy synthesizer.
+type SynthOptions struct {
+	// CostCap bounds the total system cost (processors + links used by the
+	// resulting schedule). Zero means uncapped.
+	CostCap float64
+	// MaxPerType caps the instances of each processor type considered
+	// (default 2).
+	MaxPerType int
+	// MaxCounts, when non-nil, caps instances per type individually
+	// (indexed by TypeID) and overrides MaxPerType.
+	MaxCounts []int
+}
+
+// Synthesize is a heuristic multiprocessor synthesizer in the spirit of
+// Talukdar & Mehrotra's iterative method: it enumerates processor
+// configurations (multisets of types), ETF-schedules the task graph onto
+// each, prices the resulting system (processors plus the links the schedule
+// actually used), and returns the best-performing design within the cost
+// cap. It is not exact — it is the baseline the MILP is measured against,
+// and its result seeds the MILP's incumbent.
+//
+// The returned design's pool is arch.InstancePool(lib, counts) for the
+// winning configuration; use schedule.RemapPool to move it onto another
+// pool if needed.
+func Synthesize(g *taskgraph.Graph, lib *arch.Library, topo arch.Topology, opts SynthOptions) (*schedule.Design, error) {
+	maxPer := opts.MaxPerType
+	if maxPer <= 0 {
+		maxPer = 2
+	}
+	nt := lib.NumTypes()
+	counts := make([]int, nt)
+	var best *schedule.Design
+
+	var walk func(t int)
+	walk = func(t int) {
+		if t == nt {
+			any := false
+			for _, c := range counts {
+				if c > 0 {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return
+			}
+			// Quick price check on processors alone.
+			procCost := 0.0
+			for ti, c := range counts {
+				procCost += float64(c) * lib.Type(arch.TypeID(ti)).Cost
+			}
+			if opts.CostCap > 0 && procCost > opts.CostCap {
+				return
+			}
+			pool := arch.InstancePool(lib, counts)
+			// Every subtask needs a capable instance.
+			for _, s := range g.Subtasks() {
+				if len(pool.Capable(s.ID)) == 0 {
+					return
+				}
+			}
+			procs := make([]arch.ProcID, pool.NumProcs())
+			for i := range procs {
+				procs[i] = arch.ProcID(i)
+			}
+			d, err := ETF(g, pool, topo, procs)
+			if err != nil {
+				return
+			}
+			if opts.CostCap > 0 && d.Cost > opts.CostCap {
+				return
+			}
+			if best == nil || d.Makespan < best.Makespan-1e-12 ||
+				(math.Abs(d.Makespan-best.Makespan) <= 1e-12 && d.Cost < best.Cost) {
+				best = d
+			}
+			return
+		}
+		limit := maxPer
+		if opts.MaxCounts != nil {
+			limit = opts.MaxCounts[t]
+		}
+		for c := 0; c <= limit; c++ {
+			counts[t] = c
+			walk(t + 1)
+		}
+		counts[t] = 0
+	}
+	walk(0)
+	if best == nil {
+		return nil, fmt.Errorf("heur: no feasible configuration within cost cap %g", opts.CostCap)
+	}
+	return best, nil
+}

@@ -1,0 +1,56 @@
+package heur
+
+import "sort"
+
+// interval is a half-open busy interval [Start, End).
+type interval struct {
+	Start, End float64
+}
+
+// timeline tracks the busy intervals of one exclusive resource (a processor
+// or a communication link) and answers earliest-fit queries.
+type timeline struct {
+	busy []interval // sorted by Start, non-overlapping
+}
+
+// earliestFit returns the earliest start t >= t0 such that [t, t+dur) does
+// not overlap any busy interval.
+func (tl *timeline) earliestFit(t0, dur float64) float64 {
+	t := t0
+	for _, iv := range tl.busy {
+		if iv.End <= t {
+			continue
+		}
+		if t+dur <= iv.Start {
+			return t
+		}
+		t = iv.End
+	}
+	return t
+}
+
+// reserve marks [start, start+dur) busy. Zero-length reservations are
+// ignored. Panics if the interval overlaps an existing reservation (caller
+// must have used earliestFit).
+func (tl *timeline) reserve(start, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	iv := interval{start, start + dur}
+	idx := sort.Search(len(tl.busy), func(i int) bool { return tl.busy[i].Start >= iv.Start })
+	const eps = 1e-9
+	if idx > 0 && tl.busy[idx-1].End > iv.Start+eps {
+		panic("heur: overlapping reservation")
+	}
+	if idx < len(tl.busy) && tl.busy[idx].Start < iv.End-eps {
+		panic("heur: overlapping reservation")
+	}
+	tl.busy = append(tl.busy, interval{})
+	copy(tl.busy[idx+1:], tl.busy[idx:])
+	tl.busy[idx] = iv
+}
+
+// clone returns an independent copy (for tentative what-if evaluation).
+func (tl *timeline) clone() *timeline {
+	return &timeline{busy: append([]interval(nil), tl.busy...)}
+}

@@ -1,0 +1,239 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs with bounded variables. It plays the role of the commercial XLP
+// package used by the SOS paper: the branch-and-bound MILP driver
+// (internal/milp) calls it to solve the LP relaxation at every node.
+//
+// Problems have the form
+//
+//	minimize    c·x
+//	subject to  aᵢ·x  (≤ | = | ≥)  bᵢ      for each row i
+//	            lbⱼ ≤ xⱼ ≤ ubⱼ             for each column j
+//
+// Lower bounds must be finite; upper bounds may be +Inf. Variable bounds
+// are handled natively by the simplex (nonbasic-at-lower / nonbasic-at-
+// upper), so binary variables cost no extra rows.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a row constraint.
+type Sense int
+
+// Row senses.
+const (
+	Le Sense = iota // aᵢ·x ≤ bᵢ
+	Ge              // aᵢ·x ≥ bᵢ
+	Eq              // aᵢ·x = bᵢ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case Le:
+		return "<="
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	}
+	return "?"
+}
+
+// ColID identifies a column (variable) of a Problem.
+type ColID int
+
+// Term is one coefficient of a row: Coef * x[Col].
+type Term struct {
+	Col  ColID
+	Coef float64
+}
+
+// Col is a structural variable.
+type Col struct {
+	Name string
+	Lb   float64
+	Ub   float64
+	Obj  float64 // objective coefficient (minimized)
+}
+
+// Row is one linear constraint.
+type Row struct {
+	Name  string
+	Sense Sense
+	Rhs   float64
+	Terms []Term
+}
+
+// Problem is a mutable LP under construction. It is not safe for concurrent
+// mutation; Solve does not mutate the problem and may be called from
+// multiple goroutines with distinct bound overrides.
+type Problem struct {
+	Name string
+	cols []Col
+	rows []Row
+}
+
+// NewProblem creates an empty problem.
+func NewProblem(name string) *Problem {
+	return &Problem{Name: name}
+}
+
+// AddCol adds a variable with the given bounds and objective coefficient,
+// returning its ColID.
+func (p *Problem) AddCol(name string, lb, ub, obj float64) ColID {
+	id := ColID(len(p.cols))
+	if name == "" {
+		name = fmt.Sprintf("x%d", id)
+	}
+	p.cols = append(p.cols, Col{Name: name, Lb: lb, Ub: ub, Obj: obj})
+	return id
+}
+
+// SetObj replaces the objective coefficient of a column.
+func (p *Problem) SetObj(c ColID, obj float64) { p.cols[c].Obj = obj }
+
+// SetBounds replaces the bounds of a column.
+func (p *Problem) SetBounds(c ColID, lb, ub float64) {
+	p.cols[c].Lb, p.cols[c].Ub = lb, ub
+}
+
+// AddRow adds a constraint. Terms with the same column are summed. Returns
+// the row index.
+func (p *Problem) AddRow(name string, sense Sense, rhs float64, terms ...Term) int {
+	merged := mergeTerms(terms)
+	p.rows = append(p.rows, Row{Name: name, Sense: sense, Rhs: rhs, Terms: merged})
+	return len(p.rows) - 1
+}
+
+func mergeTerms(terms []Term) []Term {
+	if len(terms) <= 1 {
+		return append([]Term(nil), terms...)
+	}
+	sum := make(map[ColID]float64, len(terms))
+	order := make([]ColID, 0, len(terms))
+	for _, t := range terms {
+		if _, ok := sum[t.Col]; !ok {
+			order = append(order, t.Col)
+		}
+		sum[t.Col] += t.Coef
+	}
+	out := make([]Term, 0, len(order))
+	for _, c := range order {
+		if sum[c] != 0 {
+			out = append(out, Term{Col: c, Coef: sum[c]})
+		}
+	}
+	return out
+}
+
+// NumCols returns the number of variables.
+func (p *Problem) NumCols() int { return len(p.cols) }
+
+// NumRows returns the number of constraints.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// Col returns column metadata.
+func (p *Problem) Col(c ColID) Col { return p.cols[c] }
+
+// Row returns row metadata.
+func (p *Problem) Row(i int) Row { return p.rows[i] }
+
+// Validate checks solvability preconditions: finite lower bounds, lb ≤ ub,
+// and in-range term columns.
+func (p *Problem) Validate() error {
+	for j, c := range p.cols {
+		if math.IsInf(c.Lb, -1) || math.IsNaN(c.Lb) {
+			return fmt.Errorf("lp %s: column %s has non-finite lower bound", p.Name, c.Name)
+		}
+		if c.Lb > c.Ub {
+			return fmt.Errorf("lp %s: column %s has lb %g > ub %g", p.Name, c.Name, c.Lb, c.Ub)
+		}
+		_ = j
+	}
+	for _, r := range p.rows {
+		for _, t := range r.Terms {
+			if int(t.Col) < 0 || int(t.Col) >= len(p.cols) {
+				return fmt.Errorf("lp %s: row %s references unknown column %d", p.Name, r.Name, t.Col)
+			}
+		}
+	}
+	return nil
+}
+
+// Status is the outcome of a Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of a Solve.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64 // primal values, indexed by ColID
+	Iters  int       // total simplex iterations across both phases
+
+	// ReducedCosts holds the final reduced cost of each structural
+	// column (indexed by ColID), populated on Optimal solves. For a
+	// nonbasic column at its lower bound the reduced cost is >= 0 and is
+	// the rate at which the objective worsens per unit increase;
+	// symmetrically (<= 0) at an upper bound. Branch-and-bound uses them
+	// for reduced-cost fixing.
+	ReducedCosts []float64
+}
+
+// Options tunes the solver. The zero value gives sensible defaults.
+type Options struct {
+	MaxIters int     // per solve; default 20000 + 50*(rows+cols)
+	Eps      float64 // feasibility/optimality tolerance; default 1e-9
+
+	// BoundOverride, when non-nil, replaces the bounds of selected columns
+	// for this solve only (used by branch-and-bound to branch without
+	// copying the problem).
+	BoundOverride map[ColID][2]float64
+}
+
+func (o *Options) maxIters(p *Problem) int {
+	if o != nil && o.MaxIters > 0 {
+		return o.MaxIters
+	}
+	return 20000 + 50*(len(p.rows)+len(p.cols))
+}
+
+func (o *Options) eps() float64 {
+	if o != nil && o.Eps > 0 {
+		return o.Eps
+	}
+	return 1e-9
+}
+
+// Solve runs the two-phase bounded simplex and returns the solution. The
+// problem itself is not modified.
+func (p *Problem) Solve(opts *Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := newSimplex(p, opts)
+	return s.run(), nil
+}

@@ -1,0 +1,537 @@
+package lp
+
+import "math"
+
+// varStatus tracks where a column currently sits.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+)
+
+// simplex is the working state of one solve: a dense tableau over
+// structural + slack + artificial columns.
+//
+// Internal column layout: [0, nStruct) structural variables in problem
+// order, [nStruct, nStruct+nSlack) slacks (one per inequality row),
+// [nStruct+nSlack, nTot) artificials (one per row that needs one).
+type simplex struct {
+	p   *Problem
+	eps float64
+	max int
+
+	m       int // rows
+	nStruct int
+	nTot    int // all columns
+
+	lb, ub []float64 // per internal column
+	cost   []float64 // current phase objective
+	isArt  []bool
+
+	tab      [][]float64 // m × nTot, kept as B⁻¹A
+	xB       []float64   // values of basic variables per row
+	basicVar []int       // internal column basic in each row
+	status   []varStatus // per internal column
+	d        []float64   // reduced-cost row for current phase
+	obj      float64     // current phase objective value
+
+	iters int
+	bland bool // anti-cycling mode
+	stall int  // iterations without objective improvement
+}
+
+func newSimplex(p *Problem, opts *Options) *simplex {
+	s := &simplex{p: p, eps: opts.eps(), max: opts.maxIters(p)}
+	s.build(opts)
+	return s
+}
+
+// build assembles the equality-form tableau. Every row is normalized to
+//
+//	a·x + slack = b   (slack ∈ [0,∞) for ≤-normalized rows; none for =)
+//
+// with ≥ rows multiplied by −1 first. Structural nonbasics start at their
+// lower bound; a slack whose implied value is feasible becomes basic,
+// otherwise the row receives a basic artificial absorbing the residual.
+func (s *simplex) build(opts *Options) {
+	p := s.p
+	s.m = len(p.rows)
+	s.nStruct = len(p.cols)
+
+	// Per-row slack allocation.
+	slackOf := make([]int, s.m) // internal column of row's slack, or -1
+	nSlack := 0
+	for i, r := range p.rows {
+		if r.Sense == Eq {
+			slackOf[i] = -1
+		} else {
+			slackOf[i] = s.nStruct + nSlack
+			nSlack++
+		}
+	}
+	// Worst case one artificial per row; allocate lazily below.
+	s.nTot = s.nStruct + nSlack // artificials appended as needed
+	lbs := make([]float64, 0, s.nTot+s.m)
+	ubs := make([]float64, 0, s.nTot+s.m)
+	for _, c := range p.cols {
+		lb, ub := c.Lb, c.Ub
+		if opts != nil && opts.BoundOverride != nil {
+			if b, ok := opts.BoundOverride[ColID(len(lbs))]; ok {
+				lb, ub = b[0], b[1]
+			}
+		}
+		lbs = append(lbs, lb)
+		ubs = append(ubs, ub)
+	}
+	for i := 0; i < nSlack; i++ {
+		lbs = append(lbs, 0)
+		ubs = append(ubs, math.Inf(1))
+	}
+
+	// Dense rows in ≤-normalized equality form.
+	rowA := make([][]float64, s.m)
+	rhs := make([]float64, s.m)
+	for i, r := range p.rows {
+		a := make([]float64, s.nTot) // artificial columns appended later
+		sign := 1.0
+		if r.Sense == Ge {
+			sign = -1
+		}
+		for _, t := range r.Terms {
+			a[t.Col] += sign * t.Coef
+		}
+		if slackOf[i] >= 0 {
+			a[slackOf[i]] = 1
+		}
+		rowA[i] = a
+		rhs[i] = sign * r.Rhs
+	}
+
+	// Nonbasic structural start values: lower bound.
+	xN := make([]float64, s.nTot)
+	for j := 0; j < s.nStruct; j++ {
+		xN[j] = lbs[j]
+	}
+
+	// Residual per row given all structural at lb, slacks at 0.
+	s.basicVar = make([]int, s.m)
+	s.xB = make([]float64, s.m)
+	artRows := []int{}
+	for i := 0; i < s.m; i++ {
+		res := rhs[i]
+		for j := 0; j < s.nStruct; j++ {
+			if rowA[i][j] != 0 {
+				res -= rowA[i][j] * xN[j]
+			}
+		}
+		if slackOf[i] >= 0 && res >= 0 {
+			// Slack can serve as the basic variable directly.
+			s.basicVar[i] = slackOf[i]
+			s.xB[i] = res
+		} else {
+			s.basicVar[i] = -1 // artificial needed
+			s.xB[i] = res      // signed residual; fixed below
+			artRows = append(artRows, i)
+		}
+	}
+
+	nArt := len(artRows)
+	total := s.nTot + nArt
+	s.isArt = make([]bool, total)
+	for k, i := range artRows {
+		col := s.nTot + k
+		s.isArt[col] = true
+		lbs = append(lbs, 0)
+		ubs = append(ubs, math.Inf(1))
+		coef := 1.0
+		if s.xB[i] < 0 {
+			coef = -1
+		}
+		// Extend row i with the artificial column; others get 0 via the
+		// reallocation below.
+		rowA[i] = append(rowA[i], make([]float64, nArt)...)
+		rowA[i][col] = coef
+		s.basicVar[i] = col
+		s.xB[i] = math.Abs(s.xB[i])
+	}
+	for i := 0; i < s.m; i++ {
+		if len(rowA[i]) < total {
+			rowA[i] = append(rowA[i], make([]float64, total-len(rowA[i]))...)
+		}
+	}
+	s.nTot = total
+	s.lb, s.ub = lbs, ubs
+
+	// Scale rows so basic columns have coefficient +1 (artificials with
+	// coefficient −1 were introduced only when residual < 0; scaling flips
+	// the row so its basis entry is +1).
+	for i := 0; i < s.m; i++ {
+		bv := s.basicVar[i]
+		if rowA[i][bv] < 0 {
+			for j := range rowA[i] {
+				rowA[i][j] = -rowA[i][j]
+			}
+		}
+	}
+	s.tab = rowA
+
+	// Now eliminate basic columns from other rows. Initially every basic
+	// column (slack or artificial) appears in exactly one row, so the
+	// basis is already the identity; nothing to eliminate.
+
+	s.status = make([]varStatus, s.nTot)
+	for j := 0; j < s.nTot; j++ {
+		s.status[j] = atLower
+	}
+	for i, bv := range s.basicVar {
+		s.status[bv] = basic
+		_ = i
+	}
+}
+
+// setPhaseObjective installs the cost vector and recomputes the reduced
+// cost row d and objective value from scratch.
+func (s *simplex) setPhaseObjective(phase1 bool) {
+	s.cost = make([]float64, s.nTot)
+	if phase1 {
+		for j := 0; j < s.nTot; j++ {
+			if s.isArt[j] {
+				s.cost[j] = 1
+			}
+		}
+	} else {
+		for j := 0; j < s.nStruct; j++ {
+			s.cost[j] = s.p.cols[j].Obj
+		}
+	}
+	// d_j = c_j − Σ_i c_B(i) · tab[i][j]; obj = Σ c_j x_j.
+	s.d = make([]float64, s.nTot)
+	copy(s.d, s.cost)
+	s.obj = 0
+	for i := 0; i < s.m; i++ {
+		cb := s.cost[s.basicVar[i]]
+		if cb == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for j := 0; j < s.nTot; j++ {
+			if row[j] != 0 {
+				s.d[j] -= cb * row[j]
+			}
+		}
+	}
+	for j := 0; j < s.nTot; j++ {
+		s.obj += s.cost[j] * s.value(j)
+	}
+	s.bland = false
+	s.stall = 0
+}
+
+// value returns the current value of internal column j.
+func (s *simplex) value(j int) float64 {
+	switch s.status[j] {
+	case atLower:
+		return s.lb[j]
+	case atUpper:
+		return s.ub[j]
+	default:
+		for i, bv := range s.basicVar {
+			if bv == j {
+				return s.xB[i]
+			}
+		}
+		return 0
+	}
+}
+
+// run executes phase 1 (if artificials exist) then phase 2.
+func (s *simplex) run() *Solution {
+	anyArt := false
+	for _, a := range s.isArt {
+		if a {
+			anyArt = true
+			break
+		}
+	}
+	if anyArt {
+		s.setPhaseObjective(true)
+		st := s.iterate(true)
+		if st == IterLimit {
+			return s.finish(IterLimit)
+		}
+		if s.obj > 1e-6 {
+			return s.finish(Infeasible)
+		}
+		s.retireArtificials()
+	}
+	s.setPhaseObjective(false)
+	st := s.iterate(false)
+	return s.finish(st)
+}
+
+// retireArtificials pins every artificial to zero so phase 2 can never
+// reintroduce infeasibility, and pivots basic artificials out of the basis
+// where possible. A basic artificial that cannot be pivoted out sits at
+// value 0 in a redundant row and is harmless.
+func (s *simplex) retireArtificials() {
+	for j := 0; j < s.nTot; j++ {
+		if s.isArt[j] {
+			s.ub[j] = 0
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		bv := s.basicVar[i]
+		if !s.isArt[bv] {
+			continue
+		}
+		// Find any non-artificial column with a usable pivot element.
+		pivot := -1
+		for j := 0; j < s.nTot; j++ {
+			if !s.isArt[j] && s.status[j] != basic && math.Abs(s.tab[i][j]) > 1e-7 {
+				pivot = j
+				break
+			}
+		}
+		if pivot >= 0 {
+			// Degenerate pivot: the artificial is at 0, so the entering
+			// variable stays at its current bound value and feasibility is
+			// preserved.
+			s.status[bv] = atLower
+			s.pivot(i, pivot, s.value(pivot))
+		}
+	}
+}
+
+// iterate runs primal simplex iterations for the current phase.
+func (s *simplex) iterate(phase1 bool) Status {
+	for {
+		if s.iters >= s.max {
+			return IterLimit
+		}
+		s.iters++
+
+		j, dir := s.chooseEntering(phase1)
+		if j < 0 {
+			return Optimal
+		}
+
+		leave, t, hitUpper := s.ratioTest(j, dir)
+		if leave == -2 {
+			if phase1 {
+				// Unbounded phase-1 objective cannot happen (bounded
+				// below by 0); treat as numerical trouble.
+				return IterLimit
+			}
+			return Unbounded
+		}
+
+		prevObj := s.obj
+		if leave == -1 {
+			// Bound flip: j moves from one bound to the other.
+			s.applyStep(j, dir, t)
+			if s.status[j] == atLower {
+				s.status[j] = atUpper
+			} else {
+				s.status[j] = atLower
+			}
+		} else {
+			s.applyStep(j, dir, t)
+			newVal := s.boundValue(j, dir, t)
+			lv := s.basicVar[leave]
+			if hitUpper {
+				s.status[lv] = atUpper
+			} else {
+				s.status[lv] = atLower
+			}
+			s.pivot(leave, j, newVal)
+		}
+		if s.obj < prevObj-s.eps {
+			s.stall = 0
+		} else {
+			s.stall++
+			if s.stall > 2*(s.m+s.nTot) {
+				s.bland = true
+			}
+		}
+	}
+}
+
+// chooseEntering picks a nonbasic column whose move improves the objective,
+// returning its index and move direction (+1 from lower bound, −1 from
+// upper). Returns (-1, 0) at optimality.
+func (s *simplex) chooseEntering(phase1 bool) (int, float64) {
+	bestJ, bestScore, bestDir := -1, s.eps, 0.0
+	for j := 0; j < s.nTot; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		if s.isArt[j] && !phase1 {
+			continue
+		}
+		if s.lb[j] == s.ub[j] {
+			continue // fixed variable can never move
+		}
+		var score, dir float64
+		switch s.status[j] {
+		case atLower:
+			if s.d[j] < -s.eps {
+				score, dir = -s.d[j], 1
+			}
+		case atUpper:
+			if s.d[j] > s.eps {
+				score, dir = s.d[j], -1
+			}
+		}
+		if dir == 0 {
+			continue
+		}
+		if s.bland {
+			return j, dir // Bland: first eligible index
+		}
+		if score > bestScore {
+			bestJ, bestScore, bestDir = j, score, dir
+		}
+	}
+	return bestJ, bestDir
+}
+
+// ratioTest computes how far column j can move in direction dir.
+// Returns (leaveRow, step, leavingHitUpper); leaveRow -1 means a bound flip
+// of j itself, -2 means unbounded.
+func (s *simplex) ratioTest(j int, dir float64) (int, float64, bool) {
+	t := math.Inf(1)
+	if !math.IsInf(s.ub[j], 1) {
+		t = s.ub[j] - s.lb[j]
+	}
+	leave := -1
+	hitUpper := false
+	for i := 0; i < s.m; i++ {
+		y := s.tab[i][j]
+		if y == 0 {
+			continue
+		}
+		delta := dir * y // basic i changes by −delta·t
+		bv := s.basicVar[i]
+		var limit float64
+		var upper bool
+		if delta > s.eps {
+			limit = (s.xB[i] - s.lb[bv]) / delta
+			upper = false
+		} else if delta < -s.eps {
+			if math.IsInf(s.ub[bv], 1) {
+				continue
+			}
+			limit = (s.ub[bv] - s.xB[i]) / (-delta)
+			upper = true
+		} else {
+			continue
+		}
+		if limit < -s.eps {
+			limit = 0
+		}
+		if limit < t-s.eps ||
+			(limit < t+s.eps && leave >= 0 && betterLeaving(s, i, leave, j)) {
+			t = limit
+			leave = i
+			hitUpper = upper
+		}
+	}
+	if math.IsInf(t, 1) {
+		return -2, 0, false
+	}
+	if t < 0 {
+		t = 0
+	}
+	return leave, t, hitUpper
+}
+
+// betterLeaving breaks ratio-test ties: prefer the larger pivot element for
+// numerical stability, then the smaller basic index (Bland-compatible).
+func betterLeaving(s *simplex, cand, cur, j int) bool {
+	pc, pu := math.Abs(s.tab[cand][j]), math.Abs(s.tab[cur][j])
+	if s.bland {
+		return s.basicVar[cand] < s.basicVar[cur]
+	}
+	if pc != pu {
+		return pc > pu
+	}
+	return s.basicVar[cand] < s.basicVar[cur]
+}
+
+// applyStep moves nonbasic j by t in direction dir, updating basic values
+// and the objective.
+func (s *simplex) applyStep(j int, dir, t float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		if y := s.tab[i][j]; y != 0 {
+			s.xB[i] -= t * dir * y
+		}
+	}
+	s.obj += s.d[j] * dir * t
+}
+
+// boundValue returns the value of column j after moving t from its current
+// bound in direction dir.
+func (s *simplex) boundValue(j int, dir, t float64) float64 {
+	if s.status[j] == atLower {
+		return s.lb[j] + dir*t
+	}
+	return s.ub[j] + dir*t
+}
+
+// pivot makes column j basic in row r with value newVal, performing the
+// full tableau row reduction.
+func (s *simplex) pivot(r, j int, newVal float64) {
+	piv := s.tab[r][j]
+	row := s.tab[r]
+	inv := 1 / piv
+	for k := range row {
+		row[k] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.tab[i][j]
+		if f == 0 {
+			continue
+		}
+		ti := s.tab[i]
+		for k := range ti {
+			ti[k] -= f * row[k]
+		}
+	}
+	if f := s.d[j]; f != 0 {
+		for k := range s.d {
+			s.d[k] -= f * row[k]
+		}
+	}
+	s.status[j] = basic
+	s.basicVar[r] = j
+	s.xB[r] = newVal
+}
+
+// finish extracts the structural solution.
+func (s *simplex) finish(st Status) *Solution {
+	sol := &Solution{Status: st, Iters: s.iters}
+	sol.X = make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		sol.X[j] = s.value(j)
+	}
+	if st == Optimal || st == IterLimit {
+		obj := 0.0
+		for j := 0; j < s.nStruct; j++ {
+			obj += s.p.cols[j].Obj * sol.X[j]
+		}
+		sol.Obj = obj
+	}
+	if st == Optimal {
+		sol.ReducedCosts = make([]float64, s.nStruct)
+		copy(sol.ReducedCosts, s.d[:s.nStruct])
+	}
+	return sol
+}

@@ -1,0 +1,122 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP writes the problem in CPLEX LP file format, the lingua franca of
+// LP/MILP tooling, so models built here can be inspected by hand or fed to
+// an external solver for cross-checking. integerCols marks columns to
+// declare in the General section.
+func (p *Problem) WriteLP(w io.Writer, integerCols []ColID) error {
+	bw := bufio.NewWriter(w)
+	isInt := make(map[ColID]bool, len(integerCols))
+	for _, c := range integerCols {
+		isInt[c] = true
+	}
+	name := func(c ColID) string {
+		n := p.cols[c].Name
+		return sanitizeLPName(n, int(c))
+	}
+
+	fmt.Fprintf(bw, "\\ Problem: %s (%d cols, %d rows)\n", p.Name, len(p.cols), len(p.rows))
+	fmt.Fprintf(bw, "Minimize\n obj:")
+	wrote := false
+	for j, c := range p.cols {
+		if c.Obj == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, " %s", term(c.Obj, name(ColID(j)), !wrote))
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprintf(bw, " 0 %s", name(0))
+	}
+	fmt.Fprintf(bw, "\nSubject To\n")
+	for i, r := range p.rows {
+		fmt.Fprintf(bw, " %s:", sanitizeLPName(r.Name, i))
+		first := true
+		for _, t := range r.Terms {
+			fmt.Fprintf(bw, " %s", term(t.Coef, name(t.Col), first))
+			first = false
+		}
+		if first {
+			fmt.Fprintf(bw, " 0 %s", name(0))
+		}
+		fmt.Fprintf(bw, " %s %g\n", r.Sense, r.Rhs)
+	}
+	fmt.Fprintf(bw, "Bounds\n")
+	for j, c := range p.cols {
+		switch {
+		case c.Lb == 0 && math.IsInf(c.Ub, 1):
+			// default bound; omit
+		case c.Lb == c.Ub:
+			fmt.Fprintf(bw, " %s = %g\n", name(ColID(j)), c.Lb)
+		case math.IsInf(c.Ub, 1):
+			fmt.Fprintf(bw, " %s >= %g\n", name(ColID(j)), c.Lb)
+		default:
+			fmt.Fprintf(bw, " %g <= %s <= %g\n", c.Lb, name(ColID(j)), c.Ub)
+		}
+	}
+	if len(integerCols) > 0 {
+		fmt.Fprintf(bw, "General\n")
+		for _, c := range integerCols {
+			fmt.Fprintf(bw, " %s\n", name(c))
+		}
+	}
+	fmt.Fprintf(bw, "End\n")
+	return bw.Flush()
+}
+
+// term renders one signed coefficient-times-name term.
+func term(coef float64, name string, first bool) string {
+	sign := "+"
+	if coef < 0 {
+		sign = "-"
+		coef = -coef
+	}
+	if first && sign == "+" {
+		if coef == 1 {
+			return name
+		}
+		return fmt.Sprintf("%g %s", coef, name)
+	}
+	if coef == 1 {
+		return fmt.Sprintf("%s %s", sign, name)
+	}
+	return fmt.Sprintf("%s %g %s", sign, coef, name)
+}
+
+// sanitizeLPName maps arbitrary variable/row names to the LP format's
+// restricted charset, keeping them readable and unique via the index.
+func sanitizeLPName(n string, idx int) string {
+	if n == "" {
+		return fmt.Sprintf("c%d", idx)
+	}
+	var b strings.Builder
+	for _, r := range n {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.':
+			b.WriteRune(r)
+		case r == '(', r == '[', r == '{':
+			b.WriteRune('_')
+		case r == ')', r == ']', r == '}':
+			// drop
+		case r == ',', r == ' ', r == '-', r == '>':
+			b.WriteRune('_')
+		default:
+			// drop anything else (greek letters in our names are spelled out)
+		}
+	}
+	s := b.String()
+	if s == "" || (s[0] >= '0' && s[0] <= '9') || s[0] == '.' {
+		s = "v" + s
+	}
+	// LP names must be unique; suffix the index defensively.
+	return fmt.Sprintf("%s_%d", s, idx)
+}

@@ -1,0 +1,69 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	p := NewProblem("wtest")
+	x := p.AddCol("x", 0, 1, -3)
+	y := p.AddCol("TSS(S1)", 0, math.Inf(1), 0)
+	z := p.AddCol("sigma(p1a,S1)", 2, 2, 1)
+	p.AddRow("cap", Le, 4, Term{x, 1}, Term{y, 2})
+	p.AddRow("sel", Eq, 1, Term{z, 1})
+	p.AddRow("lo", Ge, -1, Term{y, 1}, Term{x, -1})
+
+	var b strings.Builder
+	if err := p.WriteLP(&b, []ColID{x, z}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Minimize", "Subject To", "Bounds", "General", "End",
+		"<= 4", "= 1", ">= -1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// Fixed column becomes an equality bound.
+	if !strings.Contains(out, "= 2") {
+		t.Errorf("fixed bound missing:\n%s", out)
+	}
+	// Names sanitized: no parens/commas.
+	for _, bad := range []string{"(", ")", ","} {
+		if strings.Contains(strings.SplitN(out, "Subject To", 2)[1], bad) {
+			t.Errorf("unsanitized character %q in body:\n%s", bad, out)
+		}
+	}
+}
+
+func TestSanitizeLPName(t *testing.T) {
+	cases := map[string]string{
+		"sigma(p1a,S1)": "sigma_p1a_S1_7",
+		"":              "c7",
+		"9lives":        "v9lives_7",
+	}
+	for in, want := range cases {
+		if got := sanitizeLPName(in, 7); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTermRendering(t *testing.T) {
+	if got := term(1, "x", true); got != "x" {
+		t.Errorf("first unit term = %q", got)
+	}
+	if got := term(-2.5, "y", false); got != "- 2.5 y" {
+		t.Errorf("negative term = %q", got)
+	}
+	if got := term(-1, "y", true); got != "- y" {
+		t.Errorf("first negative unit term = %q", got)
+	}
+	if got := term(3, "z", false); got != "+ 3 z" {
+		t.Errorf("positive term = %q", got)
+	}
+}

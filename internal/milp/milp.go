@@ -1,0 +1,377 @@
+// Package milp implements a branch-and-bound solver for mixed
+// integer-linear programs on top of the internal/lp simplex. It plays the
+// role of the Bozo program (Hafer & Hutchings, SFU TR 90-2) that the SOS
+// paper used to solve its synthesis models.
+//
+// The solver relaxes integrality, solves the LP at each node, and branches
+// on a fractional integer variable by splitting its bound interval. Nodes
+// are explored depth-first (to find incumbents fast) with best-bound
+// reordering among siblings. A warm-start incumbent (e.g. from a heuristic
+// schedule) can be supplied to tighten pruning from the first node.
+package milp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sos/internal/lp"
+)
+
+// Status is the outcome of a MILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: proven optimal integer solution found.
+	Optimal Status = iota
+	// Feasible: an integer solution was found but the search hit a budget
+	// (time, node, or context cancellation) before proving optimality.
+	Feasible
+	// Infeasible: proven that no integer solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded below.
+	Unbounded
+	// NoSolution: budget exhausted before any integer solution was found.
+	NoSolution
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	}
+	return "unknown"
+}
+
+// Solution is the result of a Solve.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64 // indexed by lp.ColID; integer columns are integral
+	Nodes  int       // branch-and-bound nodes explored
+	Bound  float64   // best proven lower bound on the optimum
+	Gap    float64   // |Obj-Bound| relative gap (0 when Optimal)
+}
+
+// Options tunes the search. The zero value gives exact defaults.
+type Options struct {
+	// MaxNodes caps explored nodes (0 = unlimited).
+	MaxNodes int
+	// TimeLimit caps wall time (0 = unlimited).
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Incumbent, when non-nil, provides a known integer-feasible solution
+	// used as the initial upper bound. Its objective is recomputed from
+	// the problem; it is trusted to be feasible.
+	Incumbent []float64
+	// LP passes options through to the LP relaxation solves.
+	LP *lp.Options
+	// OnIncumbent, when non-nil, is called with each strictly improving
+	// integer solution found (objective, values). Useful for logging and
+	// anytime use.
+	OnIncumbent func(obj float64, x []float64)
+	// Branch selects the branching rule (default most-fractional).
+	Branch BranchRule
+	// Order selects the node-selection strategy (default depth-first).
+	Order NodeOrder
+}
+
+func (o *Options) intTol() float64 {
+	if o != nil && o.IntTol > 0 {
+		return o.IntTol
+	}
+	return 1e-6
+}
+
+// Solver carries a problem plus the set of integer-constrained columns.
+type Solver struct {
+	prob    *lp.Problem
+	integer []lp.ColID
+	isInt   map[lp.ColID]bool
+}
+
+// New creates a solver for prob where the given columns must take integer
+// values within their bounds. (For SOS models these are all binary: bounds
+// [0,1].)
+func New(prob *lp.Problem, integerCols []lp.ColID) *Solver {
+	isInt := make(map[lp.ColID]bool, len(integerCols))
+	for _, c := range integerCols {
+		isInt[c] = true
+	}
+	return &Solver{prob: prob, integer: append([]lp.ColID(nil), integerCols...), isInt: isInt}
+}
+
+// node is one open branch-and-bound subproblem: a set of tightened bounds.
+type node struct {
+	bounds map[lp.ColID][2]float64
+	bound  float64 // parent LP objective (lower bound for this node)
+	depth  int
+	// Branching provenance, for pseudo-cost updates.
+	branchCol  lp.ColID
+	branchUp   bool
+	branchFrac float64 // fractional part of branchCol at the parent
+}
+
+// errBudget distinguishes budget exhaustion inside the search loop.
+var errBudget = errors.New("milp: budget exhausted")
+
+// Solve runs branch and bound. The context may cancel the search early; a
+// Feasible (or NoSolution) result is returned in that case.
+func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	tol := opts.intTol()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	best := math.Inf(1)
+	var bestX []float64
+	if opts.Incumbent != nil {
+		if len(opts.Incumbent) != s.prob.NumCols() {
+			return nil, fmt.Errorf("milp: incumbent has %d values, problem has %d columns",
+				len(opts.Incumbent), s.prob.NumCols())
+		}
+		best = s.objOf(opts.Incumbent)
+		bestX = append([]float64(nil), opts.Incumbent...)
+	}
+
+	res := &Solution{}
+	rootBound := math.Inf(-1)
+	budgetHit := false
+	pc := newPseudoCost()
+
+	// Reduced-cost fixing state: root reduced costs plus a growing set of
+	// globally-fixed binaries (sound for any incumbent value `best`).
+	var rootRC []float64
+	fixed := map[lp.ColID][2]float64{}
+	refix := func() {
+		if rootRC == nil || math.IsInf(best, 1) || math.IsInf(rootBound, -1) {
+			return
+		}
+		gap := best - rootBound - 1e-9
+		for _, c := range s.integer {
+			if _, done := fixed[c]; done {
+				continue
+			}
+			col := s.prob.Col(c)
+			rc := rootRC[c]
+			// Nonbasic at lb with rc > gap: raising it by one unit already
+			// exceeds the incumbent; symmetric at ub.
+			if rc > gap && col.Ub-col.Lb >= 1 {
+				fixed[c] = [2]float64{col.Lb, col.Lb}
+			} else if -rc > gap && col.Ub-col.Lb >= 1 {
+				fixed[c] = [2]float64{col.Ub, col.Ub}
+			}
+		}
+	}
+
+	open := newFrontier(opts.Order)
+	open.push(&node{bounds: map[lp.ColID][2]float64{}, bound: math.Inf(-1), branchCol: -1})
+	for !open.empty() {
+		if err := ctx.Err(); err != nil {
+			budgetHit = true
+			break
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			budgetHit = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			budgetHit = true
+			break
+		}
+
+		nd := open.pop()
+		if nd.bound >= best-1e-9 && !math.IsInf(nd.bound, -1) {
+			continue // pruned by incumbent
+		}
+		res.Nodes++
+
+		bounds := nd.bounds
+		if len(fixed) > 0 {
+			bounds = cloneBounds(nd.bounds)
+			// Globally-proven fixings win: a subtree contradicting one
+			// contains no improving solution, so collapsing it is sound.
+			for c, b := range fixed {
+				bounds[c] = b
+			}
+		}
+		lpOpts := lp.Options{BoundOverride: bounds}
+		if opts.LP != nil {
+			lpOpts.MaxIters = opts.LP.MaxIters
+			lpOpts.Eps = opts.LP.Eps
+		}
+		sol, err := s.prob.Solve(&lpOpts)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if res.Nodes == 1 {
+				return &Solution{Status: Unbounded, Nodes: res.Nodes, Obj: math.Inf(-1)}, nil
+			}
+			continue // should not happen below the root; treat as cut off
+		case lp.IterLimit:
+			// Conservative: cannot trust the bound. Drop the subtree and
+			// record that optimality can no longer be proven.
+			budgetHit = true
+			continue
+		}
+		if res.Nodes == 1 {
+			rootBound = sol.Obj
+			rootRC = sol.ReducedCosts
+			refix()
+		}
+		if nd.branchCol >= 0 && nd.branchFrac > tol && !math.IsInf(nd.bound, -1) {
+			// Pseudo-cost bookkeeping: degradation per unit fraction.
+			width := nd.branchFrac
+			if nd.branchUp {
+				width = 1 - nd.branchFrac
+			}
+			if width > tol {
+				pc.observe(nd.branchCol, nd.branchUp, (sol.Obj-nd.bound)/width)
+			}
+		}
+		if sol.Obj >= best-1e-9 {
+			continue // bound-dominated
+		}
+
+		col := s.chooseBranch(opts.Branch, pc, sol.X, tol)
+		if col < 0 {
+			// Integer feasible.
+			x := s.roundIntegers(sol.X, tol)
+			obj := s.objOf(x)
+			if obj < best-1e-9 {
+				best = obj
+				bestX = x
+				refix()
+				if opts.OnIncumbent != nil {
+					opts.OnIncumbent(obj, x)
+				}
+			}
+			continue
+		}
+
+		// Branch on the chosen column: floor side and ceil side.
+		v := sol.X[col]
+		lo, hi := s.colBounds(nd, col)
+		fl := math.Floor(v + tol)
+		f := v - fl
+		down := cloneBounds(nd.bounds)
+		down[col] = [2]float64{lo, fl}
+		up := cloneBounds(nd.bounds)
+		up[col] = [2]float64{fl + 1, hi}
+
+		children := []*node{
+			{bounds: down, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: false, branchFrac: f},
+			{bounds: up, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: true, branchFrac: f},
+		}
+		// Depth-first explores the side nearer the fractional value first
+		// (pushed last); best-first ordering is by bound, so push order
+		// is irrelevant there.
+		if f > 0.5 {
+			children[0], children[1] = children[1], children[0]
+		}
+		open.push(children[0])
+		open.push(children[1])
+	}
+
+	res.Bound = rootBound
+	switch {
+	case bestX != nil && !budgetHit:
+		res.Status = Optimal
+		res.Obj = best
+		res.X = bestX
+		res.Bound = best
+	case bestX != nil:
+		res.Status = Feasible
+		res.Obj = best
+		res.X = bestX
+		if !math.IsInf(rootBound, -1) && best != 0 {
+			res.Gap = math.Abs(best-rootBound) / math.Max(1, math.Abs(best))
+		}
+	case budgetHit:
+		res.Status = NoSolution
+		res.Obj = math.Inf(1)
+	default:
+		res.Status = Infeasible
+		res.Obj = math.Inf(1)
+	}
+	return res, nil
+}
+
+// colBounds returns the effective bounds of column c at node nd.
+func (s *Solver) colBounds(nd *node, c lp.ColID) (float64, float64) {
+	if b, ok := nd.bounds[c]; ok {
+		return b[0], b[1]
+	}
+	col := s.prob.Col(c)
+	return col.Lb, col.Ub
+}
+
+// mostFractional returns the integer column whose LP value is farthest from
+// integral (most-fractional branching), or -1 if all are integral.
+func (s *Solver) mostFractional(x []float64, tol float64) lp.ColID {
+	best := lp.ColID(-1)
+	bestScore := tol
+	for _, c := range s.integer {
+		v := x[c]
+		f := math.Abs(v - math.Round(v))
+		if f > bestScore {
+			best, bestScore = c, f
+		}
+	}
+	return best
+}
+
+// roundIntegers snaps near-integral integer columns to exact integers.
+func (s *Solver) roundIntegers(x []float64, tol float64) []float64 {
+	out := append([]float64(nil), x...)
+	for _, c := range s.integer {
+		out[c] = math.Round(out[c])
+	}
+	return out
+}
+
+// objOf evaluates the problem objective at x.
+func (s *Solver) objOf(x []float64) float64 {
+	obj := 0.0
+	for j := 0; j < s.prob.NumCols(); j++ {
+		obj += s.prob.Col(lp.ColID(j)).Obj * x[j]
+	}
+	return obj
+}
+
+func cloneBounds(b map[lp.ColID][2]float64) map[lp.ColID][2]float64 {
+	nb := make(map[lp.ColID][2]float64, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// SortedIntegerCols returns the solver's integer columns in ascending
+// order; exposed for deterministic reporting.
+func (s *Solver) SortedIntegerCols() []lp.ColID {
+	out := append([]lp.ColID(nil), s.integer...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

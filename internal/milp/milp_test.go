@@ -1,0 +1,258 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sos/internal/lp"
+)
+
+func binCol(p *lp.Problem, name string, obj float64) lp.ColID {
+	return p.AddCol(name, 0, 1, obj)
+}
+
+func solveOK(t *testing.T, s *Solver, opts *Options) *Solution {
+	t.Helper()
+	sol, err := s.Solve(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c<=6, binary -> a=0,b=1,c=1 (20) vs a=1,c=1 (17)
+	// vs a=1,b=... 3+4>6. Optimum 20.
+	p := lp.NewProblem("knap")
+	a := binCol(p, "a", -10)
+	b := binCol(p, "b", -13)
+	c := binCol(p, "c", -7)
+	p.AddRow("cap", lp.Le, 6, lp.Term{Col: a, Coef: 3}, lp.Term{Col: b, Coef: 4}, lp.Term{Col: c, Coef: 2})
+	sol := solveOK(t, New(p, []lp.ColID{a, b, c}), nil)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Obj-(-20)) > 1e-6 {
+		t.Errorf("obj = %g, want -20", sol.Obj)
+	}
+	if math.Round(sol.X[a]) != 0 || math.Round(sol.X[b]) != 1 || math.Round(sol.X[c]) != 1 {
+		t.Errorf("x = %v, want [0 1 1]", sol.X)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// x binary, 0.4 <= x <= 0.6 via rows: LP feasible, no integer point.
+	p := lp.NewProblem("intinf")
+	x := binCol(p, "x", 1)
+	p.AddRow("lo", lp.Ge, 0.4, lp.Term{Col: x, Coef: 1})
+	p.AddRow("hi", lp.Le, 0.6, lp.Term{Col: x, Coef: 1})
+	sol := solveOK(t, New(p, []lp.ColID{x}), nil)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y s.t. y >= 1.5 - x, y >= x - 0.5, x binary, y >= 0.
+	// x=1 -> y >= 0.5; x=0 -> y >= 1.5. Optimum y=0.5 with x=1.
+	p := lp.NewProblem("mix")
+	x := binCol(p, "x", 0)
+	y := p.AddCol("y", 0, math.Inf(1), 1)
+	p.AddRow("r1", lp.Ge, 1.5, lp.Term{Col: y, Coef: 1}, lp.Term{Col: x, Coef: 1})
+	p.AddRow("r2", lp.Ge, -0.5, lp.Term{Col: y, Coef: 1}, lp.Term{Col: x, Coef: -1})
+	sol := solveOK(t, New(p, []lp.ColID{x}), nil)
+	if sol.Status != Optimal || math.Abs(sol.Obj-0.5) > 1e-6 {
+		t.Errorf("status=%v obj=%g, want optimal 0.5", sol.Status, sol.Obj)
+	}
+	if math.Round(sol.X[x]) != 1 {
+		t.Errorf("x = %g, want 1", sol.X[x])
+	}
+}
+
+func TestIncumbentPruning(t *testing.T) {
+	// Supplying the optimal solution as incumbent must still return it.
+	p := lp.NewProblem("inc")
+	a := binCol(p, "a", -5)
+	b := binCol(p, "b", -4)
+	p.AddRow("cap", lp.Le, 1, lp.Term{Col: a, Coef: 1}, lp.Term{Col: b, Coef: 1})
+	inc := []float64{1, 0}
+	sol := solveOK(t, New(p, []lp.ColID{a, b}), &Options{Incumbent: inc})
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-5)) > 1e-6 {
+		t.Errorf("status=%v obj=%g, want optimal -5", sol.Status, sol.Obj)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A 12-item equality knapsack that needs branching; with MaxNodes 1 we
+	// should get NoSolution or Feasible, never a false Optimal claim,
+	// unless the root LP happened to be integral.
+	p := lp.NewProblem("lim")
+	var cols []lp.ColID
+	terms := make([]lp.Term, 0, 12)
+	for i := 0; i < 12; i++ {
+		c := binCol(p, "", -float64(1+i%3))
+		cols = append(cols, c)
+		terms = append(terms, lp.Term{Col: c, Coef: float64(2 + i%5)})
+	}
+	p.AddRow("eq", lp.Eq, 7, terms...)
+	sol := solveOK(t, New(p, cols), &Options{MaxNodes: 1})
+	if sol.Status == Optimal && sol.Nodes > 1 {
+		t.Errorf("node limit not honored: %d nodes", sol.Nodes)
+	}
+}
+
+func TestTimeLimitAndContext(t *testing.T) {
+	p := lp.NewProblem("ctx")
+	var cols []lp.ColID
+	terms := make([]lp.Term, 0, 20)
+	for i := 0; i < 20; i++ {
+		c := binCol(p, "", -float64(1+i%7))
+		cols = append(cols, c)
+		terms = append(terms, lp.Term{Col: c, Coef: 1 + float64(i%4)*0.5})
+	}
+	p.AddRow("cap", lp.Le, 9.25, terms...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: search must stop immediately
+	sol, err := New(p, cols).Solve(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Nodes != 0 {
+		t.Errorf("canceled context explored %d nodes", sol.Nodes)
+	}
+	if sol.Status != NoSolution {
+		t.Errorf("status = %v, want no-solution", sol.Status)
+	}
+
+	sol2 := solveOK(t, New(p, cols), &Options{TimeLimit: time.Minute})
+	if sol2.Status != Optimal {
+		t.Errorf("status = %v, want optimal", sol2.Status)
+	}
+}
+
+func TestOnIncumbentCallback(t *testing.T) {
+	p := lp.NewProblem("cb")
+	a := binCol(p, "a", -3)
+	b := binCol(p, "b", -2)
+	p.AddRow("cap", lp.Le, 1.5, lp.Term{Col: a, Coef: 1}, lp.Term{Col: b, Coef: 1})
+	calls := 0
+	lastObj := math.Inf(1)
+	opts := &Options{OnIncumbent: func(obj float64, x []float64) {
+		calls++
+		if obj >= lastObj {
+			t.Errorf("non-improving incumbent callback: %g after %g", obj, lastObj)
+		}
+		lastObj = obj
+	}}
+	sol := solveOK(t, New(p, []lp.ColID{a, b}), opts)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if calls == 0 {
+		t.Error("OnIncumbent never called")
+	}
+}
+
+func TestUnboundedRelaxation(t *testing.T) {
+	p := lp.NewProblem("unb")
+	x := p.AddCol("x", 0, math.Inf(1), -1)
+	b := binCol(p, "b", 0)
+	p.AddRow("r", lp.Le, 1, lp.Term{Col: b, Coef: 1})
+	_ = x
+	sol := solveOK(t, New(p, []lp.ColID{b}), nil)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestRandomKnapsacksAgainstBruteForce cross-checks B&B optima against
+// exhaustive enumeration on random 0/1 knapsacks with random extra rows.
+func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(8) // up to 10 binaries -> brute force 1024
+		p := lp.NewProblem("rk")
+		obj := make([]float64, n)
+		var cols []lp.ColID
+		for j := 0; j < n; j++ {
+			obj[j] = float64(rng.Intn(21) - 10)
+			cols = append(cols, binCol(p, "", obj[j]))
+		}
+		nrows := 1 + rng.Intn(3)
+		type rowData struct {
+			coef  []float64
+			rhs   float64
+			sense lp.Sense
+		}
+		var rows []rowData
+		for i := 0; i < nrows; i++ {
+			coef := make([]float64, n)
+			terms := make([]lp.Term, 0, n)
+			total := 0.0
+			for j := 0; j < n; j++ {
+				coef[j] = float64(rng.Intn(7) - 2)
+				if coef[j] != 0 {
+					terms = append(terms, lp.Term{Col: cols[j], Coef: coef[j]})
+				}
+				if coef[j] > 0 {
+					total += coef[j]
+				}
+			}
+			rhs := total * (0.3 + rng.Float64()*0.5)
+			sense := lp.Le
+			if rng.Intn(4) == 0 {
+				sense = lp.Ge
+				rhs = rhs * 0.5
+			}
+			rows = append(rows, rowData{coef, rhs, sense})
+			p.AddRow("", sense, rhs, terms...)
+		}
+
+		// Brute force.
+		bestBF := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			ok := true
+			for _, r := range rows {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += r.coef[j]
+					}
+				}
+				if (r.sense == lp.Le && lhs > r.rhs+1e-9) || (r.sense == lp.Ge && lhs < r.rhs-1e-9) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			v := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					v += obj[j]
+				}
+			}
+			if v < bestBF {
+				bestBF = v
+			}
+		}
+
+		sol := solveOK(t, New(p, cols), nil)
+		if math.IsInf(bestBF, 1) {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: brute force infeasible but solver says %v (obj %g)", trial, sol.Status, sol.Obj)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal", trial, sol.Status)
+		}
+		if math.Abs(sol.Obj-bestBF) > 1e-6 {
+			t.Fatalf("trial %d: solver obj %g, brute force %g", trial, sol.Obj, bestBF)
+		}
+	}
+}

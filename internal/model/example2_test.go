@@ -1,0 +1,99 @@
+package model
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/schedule"
+)
+
+// TestExample2MILPCap15WarmStart proves the paper's hardest headline
+// result — Table IV Design 1, which took Bozo 62 minutes — with the MILP
+// formulation itself: warm-started with the combinatorial engine's design,
+// the per-processor load cuts lift the root LP bound to the optimum and
+// the solve closes immediately.
+func TestExample2MILPCap15WarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 15, TimeLimit: time.Minute})
+	if err != nil || res.Design == nil || !res.Optimal {
+		t.Fatalf("exact engine failed: %v %+v", err, res)
+	}
+	if math.Abs(res.Design.Makespan-5) > 1e-9 {
+		t.Fatalf("exact optimum %g, want 5", res.Design.Makespan)
+	}
+
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := schedule.Canonicalize(res.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := m.IncumbentVector(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, sol, err := m.Solve(context.Background(), &milp.Options{
+		TimeLimit: 2 * time.Minute, Incumbent: inc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("MILP did not prove cap-15 optimality: %v after %d nodes", sol.Status, sol.Nodes)
+	}
+	if math.Abs(design.Makespan-5) > 1e-6 {
+		t.Fatalf("MILP optimum %g, want 5", design.Makespan)
+	}
+	if err := design.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// The load cuts make this a root-node proof.
+	if sol.Nodes > 3 {
+		t.Logf("note: expected a (near-)root proof, used %d nodes", sol.Nodes)
+	}
+}
+
+// TestExample2MILPCap5WarmStart proves the uniprocessor point (Table IV
+// Design 5, the paper's 6417-minute run).
+func TestExample2MILPCap5WarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 5, TimeLimit: time.Minute})
+	if err != nil || res.Design == nil {
+		t.Fatal(err)
+	}
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := m.IncumbentVector(res.Design) // uniprocessor: already canonical
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, sol, err := m.Solve(context.Background(), &milp.Options{
+		TimeLimit: 3 * time.Minute, Incumbent: inc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal || math.Abs(design.Makespan-15) > 1e-6 {
+		t.Fatalf("cap-5 proof failed: %v, makespan %v", sol.Status, design)
+	}
+}

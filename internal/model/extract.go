@@ -1,0 +1,240 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sos/internal/arch"
+	"sos/internal/milp"
+	"sos/internal/schedule"
+	"sos/internal/sim"
+)
+
+// snap removes sub-nanosecond float fuzz from solver output so that
+// reported times read as the rationals they mathematically are.
+func snap(v float64) float64 { return math.Round(v*1e9) / 1e9 }
+
+// Extract converts a MILP solution vector into a concrete Design. It reads
+// the mapping from σ, the event times from the timing columns, and derives
+// the selected processors, created links, and cost from first principles
+// (ignoring β/χ, which may carry harmless slack when the cost cap is not
+// tight). Callers should Validate the result.
+func (m *Model) Extract(x []float64) (*schedule.Design, error) {
+	if len(x) != m.Prob.NumCols() {
+		return nil, fmt.Errorf("model: solution has %d values, problem has %d columns", len(x), m.Prob.NumCols())
+	}
+	g, pool := m.Graph, m.Pool
+	n := pool.NumProcs()
+	d := &schedule.Design{Graph: g, Pool: pool, Topo: m.Topo}
+
+	d.Assignments = make([]schedule.Assignment, g.NumSubtasks())
+	for _, s := range g.Subtasks() {
+		proc := arch.ProcID(-1)
+		for _, p := range pool.Capable(s.ID) {
+			if x[m.Sigma[sigmaKey{p, s.ID}]] > 0.5 {
+				if proc >= 0 {
+					return nil, fmt.Errorf("model: %s mapped to two processors", s.Name)
+				}
+				proc = p
+			}
+		}
+		if proc < 0 {
+			return nil, fmt.Errorf("model: %s mapped to no processor", s.Name)
+		}
+		d.Assignments[s.ID] = schedule.Assignment{
+			Task:  s.ID,
+			Proc:  proc,
+			Start: snap(x[m.TSS[s.ID]]),
+			End:   snap(x[m.TSE[s.ID]]),
+		}
+	}
+	d.Transfers = make([]schedule.Transfer, g.NumArcs())
+	for _, a := range g.Arcs() {
+		from := d.Assignments[a.Src].Proc
+		to := d.Assignments[a.Dst].Proc
+		tr := schedule.Transfer{
+			Arc:    a.ID,
+			From:   from,
+			To:     to,
+			Remote: from != to,
+			Start:  snap(x[m.TCS[a.ID]]),
+			End:    snap(x[m.TCE[a.ID]]),
+		}
+		if tr.Remote {
+			tr.Links = m.Topo.Path(n, from, to)
+		}
+		d.Transfers[a.ID] = tr
+	}
+	d.DeriveResources()
+	m.compressTimes(d)
+	return d, nil
+}
+
+// compressTimes re-derives exact event times from the solution's
+// combinatorial content — the mapping and the per-resource event orders —
+// via the event-graph longest path. The dense simplex accumulates small
+// numeric drift across pivots (micro-overlaps of order 1e-6·T_M are
+// possible in deep branch-and-bound trees); the combinatorial decisions
+// are exact, so recomputing the timing from them yields a schedule that is
+// exactly feasible and no later anywhere than the LP's. Skipped for the
+// no-overlap-I/O variant, whose extra exclusions the event graph does not
+// carry.
+func (m *Model) compressTimes(d *schedule.Design) {
+	if m.Opts.NoOverlapIO {
+		return
+	}
+	// Normalize durations to the exact model parameters first (LP drift
+	// also perturbs interval lengths); starts are then recomputed below,
+	// with the drifted values needed only to recover the event orders.
+	lib := m.Pool.Library()
+	n := m.Pool.NumProcs()
+	for i := range d.Assignments {
+		as := &d.Assignments[i]
+		as.End = as.Start + m.Pool.Exec(as.Proc, as.Task)
+	}
+	for i := range d.Transfers {
+		tr := &d.Transfers[i]
+		a := m.Graph.Arc(tr.Arc)
+		if tr.Remote {
+			tr.End = tr.Start + m.Topo.DelayPerUnit(lib, n, tr.From, tr.To)*a.Volume
+		} else {
+			tr.End = tr.Start + lib.LocalDelay*a.Volume
+		}
+	}
+	tr, err := sim.SelfTimed(d)
+	if err != nil {
+		return // keep raw LP times; the validator will arbitrate
+	}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case sim.TaskStart:
+			d.Assignments[e.Task].Start = e.Time
+		case sim.TaskEnd:
+			d.Assignments[e.Task].End = e.Time
+		case sim.TransferStart:
+			d.Transfers[e.Arc].Start = e.Time
+		case sim.TransferEnd:
+			d.Transfers[e.Arc].End = e.Time
+		}
+	}
+	d.DeriveResources()
+}
+
+// Solve builds a MILP solver over the model, runs it, and extracts the
+// design. The returned milp.Solution carries search statistics and the
+// proven status; the Design is nil when no integer solution was found.
+func (m *Model) Solve(ctx context.Context, opts *milp.Options) (*schedule.Design, *milp.Solution, error) {
+	solver := milp.New(m.Prob, m.branch)
+	sol, err := solver.Solve(ctx, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.X == nil {
+		return nil, sol, nil
+	}
+	design, err := m.Extract(sol.X)
+	if err != nil {
+		return nil, sol, err
+	}
+	return design, sol, nil
+}
+
+// IncumbentVector translates a known-good design (e.g. from a heuristic
+// synthesizer) into a full solution vector usable as a warm-start incumbent
+// for the MILP: it sets the mapping, transfer types, event times, ordering
+// binaries consistent with the design's schedule, and resource selections.
+func (m *Model) IncumbentVector(d *schedule.Design) ([]float64, error) {
+	g := m.Graph
+	x := make([]float64, m.Prob.NumCols())
+
+	for _, as := range d.Assignments {
+		k := sigmaKey{as.Proc, as.Task}
+		col, ok := m.Sigma[k]
+		if !ok {
+			return nil, fmt.Errorf("model: design maps %s to %s, outside the pool's capability",
+				g.Subtask(as.Task).Name, m.Pool.Proc(as.Proc).Name)
+		}
+		x[col] = 1
+		x[m.TSS[as.Task]] = as.Start
+		x[m.TSE[as.Task]] = as.End
+	}
+	tf := 0.0
+	for _, as := range d.Assignments {
+		if as.End > tf {
+			tf = as.End
+		}
+	}
+	x[m.TF] = tf
+
+	for _, a := range g.Arcs() {
+		tr := d.Transfers[a.ID]
+		if tr.Remote {
+			x[m.Gamma[a.ID]] = 1
+		} else {
+			for _, dd := range m.sharedProcs(a.Src, a.Dst) {
+				if dd == tr.From {
+					x[m.Delta[deltaKey{a.ID, dd}]] = 1
+				}
+			}
+		}
+		src := d.Assignments[a.Src]
+		x[m.TOA[a.ID]] = src.Start + a.FA*(src.End-src.Start)
+		x[m.TCS[a.ID]] = tr.Start
+		x[m.TCE[a.ID]] = tr.End
+		x[m.TIA[a.ID]] = tr.End
+	}
+
+	// π products for pair-dependent topologies.
+	for k, col := range m.Pi {
+		a := g.Arc(k.Arc)
+		if d.Assignments[a.Src].Proc == k.D1 && d.Assignments[a.Dst].Proc == k.D2 {
+			x[col] = 1
+		}
+	}
+
+	// Ordering binaries from the schedule's actual event order.
+	for k, col := range m.Alpha {
+		if d.Assignments[k.A].Start <= d.Assignments[k.B].Start {
+			x[col] = 1 // α=1 means the first subtask executes first
+		}
+	}
+	for k, col := range m.Phi {
+		if d.Transfers[k.A].Start <= d.Transfers[k.B].Start {
+			x[col] = 1
+		}
+	}
+	for k, col := range m.Psi {
+		if d.Transfers[k.Arc].End <= d.Assignments[k.Task].Start {
+			x[col] = 1
+		}
+	}
+	for k, col := range m.Theta {
+		if d.Transfers[k.A].Start <= d.Transfers[k.B].Start {
+			x[col] = 1
+		}
+	}
+
+	// Resources: β/χ from actual usage.
+	for _, as := range d.Assignments {
+		x[m.Beta[as.Proc]] = 1
+	}
+	for _, tr := range d.Transfers {
+		if !tr.Remote {
+			continue
+		}
+		for _, l := range tr.Links {
+			col, ok := m.Chi[l]
+			if !ok {
+				return nil, fmt.Errorf("model: design uses link %v not present in the model", l)
+			}
+			x[col] = 1
+		}
+	}
+	if m.Opts.Memory {
+		for p, mem := range d.MemSizes() {
+			x[m.MemD[p]] = mem
+		}
+	}
+	return x, nil
+}

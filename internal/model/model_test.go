@@ -1,0 +1,164 @@
+package model
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/schedule"
+)
+
+// solveExample1 builds and solves the Example 1 model at a cost cap.
+func solveExample1(t *testing.T, costCap float64) (*schedule.Design, *milp.Solution) {
+	t.Helper()
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: costCap})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	design, sol, err := m.Solve(context.Background(), &milp.Options{TimeLimit: 2 * time.Minute})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("cap %g: status %v after %d nodes", costCap, sol.Status, sol.Nodes)
+	}
+	if err := design.Validate(nil); err != nil {
+		t.Fatalf("cap %g: invalid design: %v", costCap, err)
+	}
+	return design, sol
+}
+
+func TestExample1ModelStats(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats
+	// Sanity on the counting conventions (the paper reports 21 timing and
+	// 72 binary variables with its own pool/conventions; ours must at
+	// least be in the same regime and internally consistent).
+	wantTiming := 2*4 + 4*3 + 1
+	if s.TimingVars != wantTiming {
+		t.Errorf("timing vars = %d, want %d", s.TimingVars, wantTiming)
+	}
+	if s.BinaryVars == 0 || s.Constraints == 0 || s.BranchVars == 0 {
+		t.Errorf("degenerate stats: %+v", s)
+	}
+	if s.BranchVars > s.BinaryVars {
+		t.Errorf("branch vars %d exceed binary vars %d", s.BranchVars, s.BinaryVars)
+	}
+}
+
+// TestExample1Table2 reproduces every (cost, performance) point of the
+// paper's Table II by solving min-makespan at each published cost cap.
+func TestExample1Table2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	for _, pt := range expts.Table2 {
+		design, _ := solveExample1(t, pt.Cost)
+		if math.Abs(design.Makespan-pt.Perf) > 1e-6 {
+			t.Errorf("cap %g: makespan %g, paper says %g", pt.Cost, design.Makespan, pt.Perf)
+		}
+		if design.Cost > pt.Cost+1e-6 {
+			t.Errorf("cap %g: design cost %g exceeds cap", pt.Cost, design.Cost)
+		}
+	}
+}
+
+// TestExample1Design1Shape checks the structure of the best design against
+// the paper's Design 1 (Figure 2): three processors, one of each type,
+// three links, makespan 2.5.
+func TestExample1Design1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	design, _ := solveExample1(t, 14)
+	if got := design.Makespan; math.Abs(got-2.5) > 1e-6 {
+		t.Fatalf("makespan %g, want 2.5", got)
+	}
+	byType := design.NumProcsByType()
+	if byType["p1"] != 1 || byType["p2"] != 1 || byType["p3"] != 1 {
+		t.Errorf("processor mix %v, want one of each type", byType)
+	}
+	if len(design.Links) != 3 {
+		t.Errorf("links = %d, want 3", len(design.Links))
+	}
+	if math.Abs(design.Cost-14) > 1e-6 {
+		t.Errorf("cost %g, want 14", design.Cost)
+	}
+}
+
+// TestExample1Uncapped confirms that even with unlimited budget the best
+// achievable makespan is 2.5 (Design 1 is the performance-optimal system).
+func TestExample1Uncapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	design, _ := solveExample1(t, 0)
+	if math.Abs(design.Makespan-2.5) > 1e-6 {
+		t.Errorf("uncapped makespan %g, want 2.5", design.Makespan)
+	}
+}
+
+// TestExample1MinCost runs the dual objective: cheapest system meeting a
+// deadline. Deadline 7 admits the uniprocessor p2 (cost 5); deadline 4
+// needs cost 7; deadline 2.5 needs cost 14.
+func TestExample1MinCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	cases := []struct{ deadline, wantCost float64 }{
+		{7, 5}, {4, 7}, {2.5, 14},
+	}
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for _, c := range cases {
+		m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinCost, Deadline: c.deadline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		design, sol, err := m.Solve(context.Background(), &milp.Options{TimeLimit: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != milp.Optimal {
+			t.Fatalf("deadline %g: status %v", c.deadline, sol.Status)
+		}
+		if err := design.Validate(nil); err != nil {
+			t.Fatalf("deadline %g: invalid design: %v", c.deadline, err)
+		}
+		if math.Abs(design.Cost-c.wantCost) > 1e-6 {
+			t.Errorf("deadline %g: cost %g, want %g", c.deadline, design.Cost, c.wantCost)
+		}
+		if design.Makespan > c.deadline+1e-6 {
+			t.Errorf("deadline %g: makespan %g violates deadline", c.deadline, design.Makespan)
+		}
+	}
+}
+
+// TestInfeasibleCostCap: a cap below the cheapest capable system must be
+// proven infeasible.
+func TestInfeasibleCostCap(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sol, err := m.Solve(context.Background(), &milp.Options{TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Infeasible {
+		t.Errorf("status %v, want infeasible (no system under cost 3 can run S1)", sol.Status)
+	}
+}

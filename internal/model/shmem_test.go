@@ -1,0 +1,100 @@
+package model
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/expts"
+	"sos/internal/milp"
+)
+
+// TestSharedMemoryTopology exercises the §5 shared-memory instantiation on
+// Example 1: transfers serialize through one memory port at twice the
+// remote delay, and both engines agree on the optimum.
+func TestSharedMemoryTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP solve in -short mode")
+	}
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	topo := arch.SharedMemory{}
+
+	res, err := exact.Synthesize(context.Background(), g, pool, topo,
+		exact.Options{Objective: exact.MinMakespan, TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design == nil || !res.Optimal {
+		t.Fatal("exact shared-memory synthesis failed")
+	}
+	if err := res.Design.Validate(nil); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Shared memory is slower per transfer than point-to-point and can
+	// never beat it; it also can't beat the uniprocessor bound of 7 by
+	// more than p2p's 2.5.
+	if res.Design.Makespan < 2.5-1e-9 {
+		t.Errorf("shared-memory makespan %g beats p2p optimum", res.Design.Makespan)
+	}
+	if res.Design.Makespan > 7+1e-9 {
+		t.Errorf("shared-memory makespan %g worse than uniprocessor", res.Design.Makespan)
+	}
+
+	m, err := Build(g, pool, topo, Options{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, sol, err := m.Solve(context.Background(), &milp.Options{TimeLimit: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("MILP status %v", sol.Status)
+	}
+	if math.Abs(design.Makespan-res.Design.Makespan) > 1e-6 {
+		t.Errorf("MILP %g vs exact %g on shared memory", design.Makespan, res.Design.Makespan)
+	}
+}
+
+// TestSharedMemoryCost: the memory module's cost is charged once when any
+// remote transfer exists.
+func TestSharedMemoryCost(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	topo := arch.SharedMemory{Cost: 3}
+	res, err := exact.Synthesize(context.Background(), g, pool, topo,
+		exact.Options{Objective: exact.MinCost, Deadline: 100})
+	if err != nil || res.Design == nil {
+		t.Fatal(err)
+	}
+	// Cheapest system: the single-p1 design (cost 4, makespan 17), with
+	// no remote traffic and therefore no memory module charge.
+	if res.Design.Cost != 4 {
+		t.Errorf("min cost %g, want 4 (no shared-memory charge without remote transfers)", res.Design.Cost)
+	}
+	// Force multiprocessing via a deadline below the uniprocessor time.
+	res2, err := exact.Synthesize(context.Background(), g, pool, topo,
+		exact.Options{Objective: exact.MinCost, Deadline: 6.5})
+	if err != nil || res2.Design == nil {
+		t.Fatal(err)
+	}
+	hasRemote := false
+	for _, tr := range res2.Design.Transfers {
+		if tr.Remote {
+			hasRemote = true
+		}
+	}
+	if hasRemote {
+		base := 0.0
+		for _, p := range res2.Design.Procs {
+			base += pool.Cost(p)
+		}
+		if math.Abs(res2.Design.Cost-(base+3)) > 1e-9 {
+			t.Errorf("cost %g does not include the memory module (procs %g + 3)", res2.Design.Cost, base)
+		}
+	}
+}

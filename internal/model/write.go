@@ -1,0 +1,70 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sos/internal/lp"
+)
+
+// WriteLP dumps the built MILP in CPLEX LP format for inspection or
+// cross-checking with an external solver.
+func (m *Model) WriteLP(w io.Writer) error {
+	return m.Prob.WriteLP(w, m.branch)
+}
+
+// WriteEquations renders the model row by row in readable algebra, the way
+// the paper presents its constraint families in §3.3/§3.4. Intended for
+// documentation and debugging of small models.
+func (m *Model) WriteEquations(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SOS MILP %q: %s\n", m.Prob.Name, m.Stats)
+	fmt.Fprintf(bw, "minimize ")
+	first := true
+	for j := 0; j < m.Prob.NumCols(); j++ {
+		c := m.Prob.Col(lp.ColID(j))
+		if c.Obj == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "%s", signedTerm(c.Obj, c.Name, first))
+		first = false
+	}
+	if first {
+		fmt.Fprintf(bw, "0")
+	}
+	fmt.Fprintf(bw, "\nsubject to\n")
+	for i := 0; i < m.Prob.NumRows(); i++ {
+		r := m.Prob.Row(i)
+		fmt.Fprintf(bw, "  [%s]  ", r.Name)
+		for k, t := range r.Terms {
+			fmt.Fprintf(bw, "%s", signedTerm(t.Coef, m.Prob.Col(t.Col).Name, k == 0))
+		}
+		fmt.Fprintf(bw, " %s %g\n", r.Sense, r.Rhs)
+	}
+	fmt.Fprintf(bw, "bounds\n")
+	for j := 0; j < m.Prob.NumCols(); j++ {
+		c := m.Prob.Col(lp.ColID(j))
+		fmt.Fprintf(bw, "  %g <= %s <= %g\n", c.Lb, c.Name, c.Ub)
+	}
+	return bw.Flush()
+}
+
+func signedTerm(coef float64, name string, first bool) string {
+	switch {
+	case first && coef == 1:
+		return name
+	case first && coef == -1:
+		return "-" + name
+	case first:
+		return fmt.Sprintf("%g·%s", coef, name)
+	case coef == 1:
+		return " + " + name
+	case coef == -1:
+		return " - " + name
+	case coef < 0:
+		return fmt.Sprintf(" - %g·%s", -coef, name)
+	default:
+		return fmt.Sprintf(" + %g·%s", coef, name)
+	}
+}

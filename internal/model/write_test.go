@@ -1,0 +1,114 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+)
+
+func buildExample1(t *testing.T) *Model {
+	t.Helper()
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWriteEquations(t *testing.T) {
+	m := buildExample1(t)
+	var b strings.Builder
+	if err := m.WriteEquations(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Every constraint family from the paper appears by name.
+	for _, want := range []string{
+		"select(S1)",        // (3.3.1)
+		"transfer-type",     // (3.3.2)/(3.4.14)
+		"delta-le-src",      // (3.4.15)
+		"delta-ge",          // exactness cut
+		"in-avail",          // (3.3.3)
+		"out-avail",         // (3.3.4)
+		"start-after-input", // (3.3.5)
+		"exec-end",          // (3.3.6)
+		"xfer-start",        // (3.3.7)
+		"xfer-end",          // (3.3.8)
+		"pexcl",             // (3.4.17)/(3.4.18)
+		"lexcl",             // (3.4.19)/(3.4.20)
+		"finish",            // (3.3.11)
+		"beta-ge",           // (3.3.12)
+		"chi-ge",            // (3.4.21)
+		"cost-cap",
+		"sym(",
+		"minimize TF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("equation dump missing %q", want)
+		}
+	}
+}
+
+func TestWriteLPRoundTripSolvable(t *testing.T) {
+	m := buildExample1(t)
+	var b strings.Builder
+	if err := m.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Minimize") || !strings.Contains(out, "General") {
+		t.Errorf("LP dump incomplete")
+	}
+	// All branch columns are declared integer.
+	general := out[strings.Index(out, "General"):]
+	if got := strings.Count(general, "\n") - 2; got < m.Stats.BranchVars {
+		t.Errorf("General section lists %d columns, want >= %d", got, m.Stats.BranchVars)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	m := buildExample1(t)
+	s := m.Stats.String()
+	if !strings.Contains(s, "timing") || !strings.Contains(s, "constraints") {
+		t.Errorf("stats string: %q", s)
+	}
+}
+
+// TestBigMTightness: the automatic T_M equals the serial worst-case
+// schedule length and never cuts off the uniprocessor solution.
+func TestBigMTightness(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	tm := BigM(g, pool, arch.PointToPoint{})
+	// Worst serial: S1 on p2 (3) + S2 on p3 (3) + S3 on p1 (12) + S4 on
+	// p1 (3) = 21 exec + worst transfers 1+1+1 = 24.
+	if tm != 24 {
+		t.Errorf("T_M = %g, want 24", tm)
+	}
+	// Uniprocessor p2 runs in 7 <= T_M, and the slowest mapping fits too.
+	if tm < 7 {
+		t.Error("T_M cuts off feasible schedules")
+	}
+}
+
+// TestBuildValidation covers Build's error paths.
+func TestBuildValidation(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	if _, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinCost}); err == nil {
+		t.Error("MinCost without deadline accepted")
+	}
+	empty := arch.InstancePool(lib, []int{0, 0, 0})
+	if _, err := Build(g, empty, arch.PointToPoint{}, Options{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	// Pool that cannot run S1 (only p3 instances).
+	p3only := arch.InstancePool(lib, []int{0, 0, 2})
+	if _, err := Build(g, p3only, arch.PointToPoint{}, Options{}); err == nil {
+		t.Error("uncovered subtask accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders an ASCII chart of the schedule in the style of the paper's
+// Figure 2: one row per selected processor and one per used link, with each
+// occupancy interval shown against a shared time axis.
+//
+// width is the number of character cells the full makespan maps onto; 60 is
+// a good default (pass 0 to get it).
+func (d *Design) Gantt(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if d.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / d.Makespan
+	cell := func(t float64) int {
+		c := int(t * scale)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	var b strings.Builder
+	label := func(s string) string { return fmt.Sprintf("%-12s|", s) }
+
+	// Processor rows.
+	for _, p := range d.Procs {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		var tasks []Assignment
+		for _, as := range d.Assignments {
+			if as.Proc == p {
+				tasks = append(tasks, as)
+			}
+		}
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].Start < tasks[j].Start })
+		for _, as := range tasks {
+			lo, hi := cell(as.Start), cell(as.End)
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			name := d.Graph.Subtask(as.Task).Name
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '='
+			}
+			for i, r := range name {
+				if lo+i < hi-0 && lo+i < width {
+					row[lo+i] = r
+				}
+			}
+		}
+		b.WriteString(label(d.Pool.Proc(p).Name))
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+
+	// Link rows.
+	for _, l := range d.Links {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		var trs []Transfer
+		for _, tr := range d.Transfers {
+			if !tr.Remote {
+				continue
+			}
+			for _, ll := range tr.Links {
+				if ll == l {
+					trs = append(trs, tr)
+					break
+				}
+			}
+		}
+		sort.Slice(trs, func(i, j int) bool { return trs[i].Start < trs[j].Start })
+		for _, tr := range trs {
+			lo, hi := cell(tr.Start), cell(tr.End)
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			a := d.Graph.Arc(tr.Arc)
+			name := fmt.Sprintf("i%d,%d", int(a.Dst)+1, a.DstPort)
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '-'
+			}
+			for i, r := range name {
+				if lo+i < width && lo+i < hi {
+					row[lo+i] = r
+				}
+			}
+		}
+		b.WriteString(label(d.Topo.LinkName(d.Pool, l)))
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+
+	// Time axis.
+	b.WriteString(strings.Repeat(" ", 13))
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat(" ", 13))
+	axis := make([]rune, width)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	marks := 6
+	for k := 0; k <= marks; k++ {
+		t := d.Makespan * float64(k) / float64(marks)
+		s := trimFloat(t)
+		pos := cell(t)
+		if pos+len(s) > width {
+			pos = width - len(s)
+		}
+		for i, r := range s {
+			if pos+i >= 0 && pos+i < width {
+				axis[pos+i] = r
+			}
+		}
+	}
+	b.WriteString(string(axis))
+	b.WriteString("\n")
+	return b.String()
+}
+
+func trimFloat(t float64) string {
+	s := fmt.Sprintf("%.2f", t)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}

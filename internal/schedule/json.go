@@ -1,0 +1,156 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sos/internal/arch"
+	"sos/internal/taskgraph"
+)
+
+// jsonDesign is the wire form of a synthesized design. It references
+// subtasks and processors by name so a saved design is readable and stays
+// valid across reorderings of the in-memory structures; the problem
+// context (graph, pool, topology) must be supplied again on decode.
+type jsonDesign struct {
+	Graph    string           `json:"graph"`
+	Topology string           `json:"topology"`
+	Cost     float64          `json:"cost"`
+	Makespan float64          `json:"makespan"`
+	Tasks    []jsonAssignment `json:"tasks"`
+	Xfers    []jsonTransfer   `json:"transfers"`
+}
+
+type jsonAssignment struct {
+	Task  string  `json:"task"`
+	Proc  string  `json:"proc"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+type jsonTransfer struct {
+	// Arc identified by consumer task + input port (the paper's i_{a,b}).
+	Dst     string  `json:"dst"`
+	DstPort int     `json:"dst_port"`
+	Remote  bool    `json:"remote"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+}
+
+// EncodeDesign serializes a design to JSON.
+func EncodeDesign(d *Design) ([]byte, error) {
+	jd := jsonDesign{
+		Graph:    d.Graph.Name,
+		Topology: d.Topo.Name(),
+		Cost:     d.Cost,
+		Makespan: d.Makespan,
+	}
+	for _, as := range d.Assignments {
+		jd.Tasks = append(jd.Tasks, jsonAssignment{
+			Task:  d.Graph.Subtask(as.Task).Name,
+			Proc:  d.Pool.Proc(as.Proc).Name,
+			Start: as.Start,
+			End:   as.End,
+		})
+	}
+	for _, tr := range d.Transfers {
+		a := d.Graph.Arc(tr.Arc)
+		jd.Xfers = append(jd.Xfers, jsonTransfer{
+			Dst:     d.Graph.Subtask(a.Dst).Name,
+			DstPort: a.DstPort,
+			Remote:  tr.Remote,
+			Start:   tr.Start,
+			End:     tr.End,
+		})
+	}
+	return json.MarshalIndent(jd, "", "  ")
+}
+
+// DecodeDesign reconstructs a design from JSON against the given problem
+// context, re-deriving the selected processors, links, transfer routing,
+// cost, and makespan, and validating the result before returning it.
+func DecodeDesign(data []byte, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology) (*Design, error) {
+	var jd jsonDesign
+	if err := json.Unmarshal(data, &jd); err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	if jd.Topology != topo.Name() {
+		return nil, fmt.Errorf("schedule: design was saved for topology %q, decoding under %q", jd.Topology, topo.Name())
+	}
+	taskByName := map[string]taskgraph.SubtaskID{}
+	for _, s := range g.Subtasks() {
+		taskByName[s.Name] = s.ID
+	}
+	procByName := map[string]arch.ProcID{}
+	for _, p := range pool.Procs() {
+		procByName[p.Name] = p.ID
+	}
+	arcByKey := map[[2]int]taskgraph.ArcID{}
+	for _, a := range g.Arcs() {
+		arcByKey[[2]int{int(a.Dst), a.DstPort}] = a.ID
+	}
+
+	d := &Design{Graph: g, Pool: pool, Topo: topo}
+	d.Assignments = make([]Assignment, g.NumSubtasks())
+	seen := make([]bool, g.NumSubtasks())
+	for _, jt := range jd.Tasks {
+		task, ok := taskByName[jt.Task]
+		if !ok {
+			return nil, fmt.Errorf("schedule: unknown subtask %q", jt.Task)
+		}
+		proc, ok := procByName[jt.Proc]
+		if !ok {
+			return nil, fmt.Errorf("schedule: unknown processor %q", jt.Proc)
+		}
+		if seen[task] {
+			return nil, fmt.Errorf("schedule: subtask %q assigned twice", jt.Task)
+		}
+		seen[task] = true
+		d.Assignments[task] = Assignment{Task: task, Proc: proc, Start: jt.Start, End: jt.End}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("schedule: subtask %s missing from design", g.Subtask(taskgraph.SubtaskID(i)).Name)
+		}
+	}
+	d.Transfers = make([]Transfer, g.NumArcs())
+	seenArc := make([]bool, g.NumArcs())
+	n := pool.NumProcs()
+	for _, jx := range jd.Xfers {
+		dst, ok := taskByName[jx.Dst]
+		if !ok {
+			return nil, fmt.Errorf("schedule: unknown transfer consumer %q", jx.Dst)
+		}
+		arc, ok := arcByKey[[2]int{int(dst), jx.DstPort}]
+		if !ok {
+			return nil, fmt.Errorf("schedule: no arc feeds i%d,%d", int(dst)+1, jx.DstPort)
+		}
+		if seenArc[arc] {
+			return nil, fmt.Errorf("schedule: duplicate transfer for i%d,%d", int(dst)+1, jx.DstPort)
+		}
+		seenArc[arc] = true
+		a := g.Arc(arc)
+		tr := Transfer{
+			Arc:    arc,
+			From:   d.Assignments[a.Src].Proc,
+			To:     d.Assignments[a.Dst].Proc,
+			Remote: jx.Remote,
+			Start:  jx.Start,
+			End:    jx.End,
+		}
+		if tr.Remote {
+			tr.Links = topo.Path(n, tr.From, tr.To)
+		}
+		d.Transfers[arc] = tr
+	}
+	for i, ok := range seenArc {
+		if !ok {
+			return nil, fmt.Errorf("schedule: transfer for arc %d missing from design", i)
+		}
+	}
+	d.DeriveResources()
+	if err := d.Validate(nil); err != nil {
+		return nil, fmt.Errorf("schedule: decoded design invalid: %w", err)
+	}
+	return d, nil
+}

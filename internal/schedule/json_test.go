@@ -1,0 +1,54 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDesignJSONRoundTrip(t *testing.T) {
+	g, pool, d := fixture()
+	data, err := EncodeDesign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDesign(data, g, pool, d.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cost != d.Cost || d2.Makespan != d.Makespan {
+		t.Errorf("round trip changed cost/makespan: %v vs %v", d2, d)
+	}
+	for i := range d.Assignments {
+		if d.Assignments[i] != d2.Assignments[i] {
+			t.Errorf("assignment %d differs: %+v vs %+v", i, d.Assignments[i], d2.Assignments[i])
+		}
+	}
+	for i := range d.Transfers {
+		if d.Transfers[i].Start != d2.Transfers[i].Start || d.Transfers[i].Remote != d2.Transfers[i].Remote {
+			t.Errorf("transfer %d differs", i)
+		}
+	}
+}
+
+func TestDecodeDesignErrors(t *testing.T) {
+	g, pool, d := fixture()
+	good, err := EncodeDesign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(string) string{
+		"bad json":       func(s string) string { return s[1:] },
+		"unknown task":   func(s string) string { return strings.Replace(s, `"task": "A"`, `"task": "Z"`, 1) },
+		"unknown proc":   func(s string) string { return strings.Replace(s, `"proc": "p1a"`, `"proc": "p9z"`, 1) },
+		"wrong topology": func(s string) string { return strings.Replace(s, `"topology": "p2p"`, `"topology": "bus"`, 1) },
+		"broken times":   func(s string) string { return strings.Replace(s, `"end": 2`, `"end": 1.5`, 1) },
+		"missing task": func(s string) string {
+			return strings.Replace(s, `"task": "A"`, `"task": "B"`, 1) // duplicates B, loses A
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := DecodeDesign([]byte(mutate(string(good))), g, pool, d.Topo); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"sos/internal/arch"
+)
+
+// RemapPool returns a copy of the design expressed over a different
+// processor instance pool drawn from the same library. Instances are
+// matched by (type, copy index), so the target pool must contain at least
+// as many instances of each used type. Link IDs are recomputed from the
+// topology over the new pool.
+//
+// Not valid for the ring topology, where an instance's pool position
+// determines its communication delays.
+func RemapPool(d *Design, newPool *arch.Instances) (*Design, error) {
+	if _, isRing := d.Topo.(arch.Ring); isRing {
+		return nil, fmt.Errorf("schedule: RemapPool is not meaningful under a ring topology")
+	}
+	byTypeIdx := map[[2]int]arch.ProcID{}
+	for _, p := range newPool.Procs() {
+		byTypeIdx[[2]int{int(p.Type), p.Index}] = p.ID
+	}
+	remap := func(old arch.ProcID) (arch.ProcID, error) {
+		op := d.Pool.Proc(old)
+		np, ok := byTypeIdx[[2]int{int(op.Type), op.Index}]
+		if !ok {
+			return 0, fmt.Errorf("schedule: target pool lacks instance %d of type %s",
+				op.Index, d.Pool.Library().Type(op.Type).Name)
+		}
+		return np, nil
+	}
+	nd := &Design{Graph: d.Graph, Pool: newPool, Topo: d.Topo}
+	n := newPool.NumProcs()
+	nd.Assignments = make([]Assignment, len(d.Assignments))
+	for i, as := range d.Assignments {
+		np, err := remap(as.Proc)
+		if err != nil {
+			return nil, err
+		}
+		nd.Assignments[i] = Assignment{Task: as.Task, Proc: np, Start: as.Start, End: as.End}
+	}
+	nd.Transfers = make([]Transfer, len(d.Transfers))
+	for i, tr := range d.Transfers {
+		from, err := remap(tr.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := remap(tr.To)
+		if err != nil {
+			return nil, err
+		}
+		nt := Transfer{Arc: tr.Arc, From: from, To: to, Remote: tr.Remote, Start: tr.Start, End: tr.End}
+		if tr.Remote {
+			nt.Links = d.Topo.Path(n, from, to)
+		}
+		nd.Transfers[i] = nt
+	}
+	nd.DeriveResources()
+	return nd, nil
+}
+
+// Canonicalize relabels same-type processor instances so that the used
+// instances of each type are the lowest-indexed copies, in first-use order
+// (first use = earliest assignment start, ties by task ID). This makes a
+// heuristic design compatible with the MILP's symmetry-breaking rows so it
+// can serve as a warm-start incumbent. Returns a remapped copy.
+//
+// Not valid for the ring topology (see RemapPool).
+func Canonicalize(d *Design) (*Design, error) {
+	if _, isRing := d.Topo.(arch.Ring); isRing {
+		return nil, fmt.Errorf("schedule: Canonicalize is not meaningful under a ring topology")
+	}
+	// Determine first-use order per type.
+	type use struct {
+		proc  arch.ProcID
+		start float64
+		task  int
+	}
+	firstUse := map[arch.ProcID]use{}
+	for _, as := range d.Assignments {
+		u, seen := firstUse[as.Proc]
+		if !seen || as.Start < u.start || (as.Start == u.start && int(as.Task) < u.task) {
+			firstUse[as.Proc] = use{proc: as.Proc, start: as.Start, task: int(as.Task)}
+		}
+	}
+	byType := map[arch.TypeID][]use{}
+	for p, u := range firstUse {
+		t := d.Pool.Proc(p).Type
+		byType[t] = append(byType[t], u)
+	}
+	// Old instance -> new instance (same pool, lowest copies first).
+	perm := map[arch.ProcID]arch.ProcID{}
+	for t, uses := range byType {
+		sort.Slice(uses, func(i, j int) bool {
+			if uses[i].start != uses[j].start {
+				return uses[i].start < uses[j].start
+			}
+			return uses[i].task < uses[j].task
+		})
+		// Collect this type's instances in the pool, ascending.
+		var slots []arch.ProcID
+		for _, p := range d.Pool.Procs() {
+			if p.Type == t {
+				slots = append(slots, p.ID)
+			}
+		}
+		for i, u := range uses {
+			perm[u.proc] = slots[i]
+		}
+	}
+	n := d.Pool.NumProcs()
+	nd := &Design{Graph: d.Graph, Pool: d.Pool, Topo: d.Topo}
+	nd.Assignments = make([]Assignment, len(d.Assignments))
+	for i, as := range d.Assignments {
+		nd.Assignments[i] = Assignment{Task: as.Task, Proc: perm[as.Proc], Start: as.Start, End: as.End}
+	}
+	nd.Transfers = make([]Transfer, len(d.Transfers))
+	for i, tr := range d.Transfers {
+		nt := Transfer{Arc: tr.Arc, From: perm[tr.From], To: perm[tr.To], Remote: tr.Remote, Start: tr.Start, End: tr.End}
+		if tr.Remote {
+			nt.Links = d.Topo.Path(n, nt.From, nt.To)
+		}
+		nd.Transfers[i] = nt
+	}
+	nd.DeriveResources()
+	return nd, nil
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+)
+
+// Metrics summarizes one executed schedule: per-resource utilization and
+// per-processor peak I/O buffer occupancy. The buffer analysis quantifies
+// the §5 remark about "memory buffers required at the I/O modules": an
+// output produced at its f_A point occupies the sender's buffer until its
+// transfer completes, and a delivered input occupies the receiver's buffer
+// until the consumer's f_R point.
+type Metrics struct {
+	design   *schedule.Design // for name rendering
+	Makespan float64
+	// ProcBusy maps each used processor to its busy fraction of the
+	// makespan (computation only).
+	ProcBusy map[arch.ProcID]float64
+	// LinkBusy maps each used communication resource to its busy
+	// fraction.
+	LinkBusy map[arch.LinkID]float64
+	// PeakSendBuf / PeakRecvBuf map each processor to the peak data
+	// volume simultaneously buffered by its sending / receiving I/O
+	// modules.
+	PeakSendBuf map[arch.ProcID]float64
+	PeakRecvBuf map[arch.ProcID]float64
+}
+
+// Measure computes Metrics from a design's static schedule.
+func Measure(d *schedule.Design) *Metrics {
+	m := &Metrics{
+		design:      d,
+		Makespan:    d.Makespan,
+		ProcBusy:    map[arch.ProcID]float64{},
+		LinkBusy:    map[arch.LinkID]float64{},
+		PeakSendBuf: map[arch.ProcID]float64{},
+		PeakRecvBuf: map[arch.ProcID]float64{},
+	}
+	if d.Makespan <= 0 {
+		return m
+	}
+	for _, as := range d.Assignments {
+		m.ProcBusy[as.Proc] += (as.End - as.Start) / d.Makespan
+	}
+	for _, tr := range d.Transfers {
+		if !tr.Remote {
+			continue
+		}
+		for _, l := range tr.Links {
+			m.LinkBusy[l] += (tr.End - tr.Start) / d.Makespan
+		}
+	}
+
+	// Buffer occupancy as a sweep over interval events. A remote arc's
+	// payload sits in the sender's I/O buffer from the data's f_A
+	// availability until transfer end, and in the receiver's from
+	// transfer start until the consumer's f_R deadline.
+	type ev struct {
+		t   float64
+		vol float64 // +vol on open, −vol on close
+	}
+	send := map[arch.ProcID][]ev{}
+	recv := map[arch.ProcID][]ev{}
+	for _, tr := range d.Transfers {
+		if !tr.Remote {
+			continue
+		}
+		a := d.Graph.Arc(tr.Arc)
+		src := d.Assignments[a.Src]
+		dst := d.Assignments[a.Dst]
+		avail := src.Start + a.FA*(src.End-src.Start)
+		needBy := dst.Start + a.FR*(dst.End-dst.Start)
+		send[tr.From] = append(send[tr.From], ev{avail, a.Volume}, ev{tr.End, -a.Volume})
+		recv[tr.To] = append(recv[tr.To], ev{tr.Start, a.Volume}, ev{needBy, -a.Volume})
+	}
+	peak := func(events []ev) float64 {
+		sort.Slice(events, func(i, j int) bool {
+			if events[i].t != events[j].t {
+				return events[i].t < events[j].t
+			}
+			return events[i].vol < events[j].vol // close before open on ties
+		})
+		cur, max := 0.0, 0.0
+		for _, e := range events {
+			cur += e.vol
+			if cur > max {
+				max = cur
+			}
+		}
+		return max
+	}
+	for p, evs := range send {
+		m.PeakSendBuf[p] = peak(evs)
+	}
+	for p, evs := range recv {
+		m.PeakRecvBuf[p] = peak(evs)
+	}
+	return m
+}
+
+// String renders the metrics as an aligned report.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %g\n", m.Makespan)
+	var procs []arch.ProcID
+	for p := range m.ProcBusy {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, p := range procs {
+		name := fmt.Sprintf("proc %d", p)
+		if m.design != nil {
+			name = m.design.Pool.Proc(p).Name
+		}
+		fmt.Fprintf(&b, "%-12s busy %5.1f%%  send-buf %g  recv-buf %g\n",
+			name, 100*m.ProcBusy[p], m.PeakSendBuf[p], m.PeakRecvBuf[p])
+	}
+	var links []arch.LinkID
+	for l := range m.LinkBusy {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		name := fmt.Sprintf("link %d", l)
+		if m.design != nil {
+			name = m.design.Topo.LinkName(m.design.Pool, l)
+		}
+		fmt.Fprintf(&b, "%-12s busy %5.1f%%\n", name, 100*m.LinkBusy[l])
+	}
+	return b.String()
+}
+
+// AvgProcUtilization returns the mean busy fraction over the selected
+// processors (a design-quality figure of merit for reports).
+func (m *Metrics) AvgProcUtilization() float64 {
+	if len(m.ProcBusy) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, u := range m.ProcBusy {
+		sum += u
+	}
+	return sum / float64(len(m.ProcBusy))
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/expts"
+)
+
+func TestMeasureFixture(t *testing.T) {
+	d := fixture() // A(0..2)@p1a -> xfer [2,3) -> B(3..4)@p2a, volume 1
+	m := Measure(d)
+	if m.Makespan != 4 {
+		t.Fatalf("makespan %g", m.Makespan)
+	}
+	if got := m.ProcBusy[0]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p1a busy %g, want 0.5", got)
+	}
+	if got := m.ProcBusy[1]; math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("p2a busy %g, want 0.25", got)
+	}
+	// The single link is busy 1 of 4 time units.
+	for _, u := range m.LinkBusy {
+		if math.Abs(u-0.25) > 1e-9 {
+			t.Errorf("link busy %g, want 0.25", u)
+		}
+	}
+	// Send buffer: data available at t=2 (FA=1), transfer ends t=3 -> one
+	// unit held over [2,3). Recv buffer: reserved from transfer start t=2
+	// until the consumer's f_R point t=3 -> one unit held over [2,3).
+	if got := m.PeakSendBuf[0]; got != 1 {
+		t.Errorf("send buffer peak %g, want 1", got)
+	}
+	if got := m.PeakRecvBuf[1]; got != 1 {
+		t.Errorf("recv buffer peak %g, want 1", got)
+	}
+	if s := m.String(); !strings.Contains(s, "busy") {
+		t.Errorf("report: %q", s)
+	}
+	if u := m.AvgProcUtilization(); math.Abs(u-0.375) > 1e-9 {
+		t.Errorf("avg utilization %g, want 0.375", u)
+	}
+}
+
+func TestMeasureExample2Design(t *testing.T) {
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 15})
+	if err != nil || res.Design == nil {
+		t.Fatal(err)
+	}
+	m := Measure(res.Design)
+	if m.Makespan != 5 {
+		t.Fatalf("makespan %g", m.Makespan)
+	}
+	// Busy time must account exactly for every assignment's duration.
+	want := 0.0
+	for _, as := range res.Design.Assignments {
+		want += as.End - as.Start
+	}
+	total := 0.0
+	for _, u := range m.ProcBusy {
+		total += u * m.Makespan
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total busy time %g, want %g", total, want)
+	}
+	for p, u := range m.ProcBusy {
+		if u < 0 || u > 1+1e-9 {
+			t.Errorf("proc %d utilization %g out of range", p, u)
+		}
+	}
+	for l, u := range m.LinkBusy {
+		if u < 0 || u > 1+1e-9 {
+			t.Errorf("link %d utilization %g out of range", l, u)
+		}
+	}
+}
+
+func TestMeasureEmptyDesign(t *testing.T) {
+	d := fixture()
+	d.Makespan = 0
+	m := Measure(d)
+	if len(m.ProcBusy) != 0 || m.AvgProcUtilization() != 0 {
+		t.Error("zero-makespan design should produce empty metrics")
+	}
+}

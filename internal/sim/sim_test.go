@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/heur"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+)
+
+// fixture: A(0..2)@p1a --arc--> B(3..4)@p2a, transfer [2,3).
+func fixture() *schedule.Design {
+	g := taskgraph.New("fx")
+	a := g.AddSubtask("A")
+	b := g.AddSubtask("B")
+	g.AddArc(a, b, taskgraph.ArcSpec{Volume: 1})
+	g.MustFreeze()
+	lib := arch.NewLibrary("lib", 1, 1, 0)
+	lib.AddType("p1", 4, []float64{2, 3})
+	lib.AddType("p2", 5, []float64{5, 1})
+	pool := arch.InstancePool(lib, []int{1, 1})
+	topo := arch.PointToPoint{}
+	d := &schedule.Design{
+		Graph: g, Pool: pool, Topo: topo,
+		Assignments: []schedule.Assignment{
+			{Task: 0, Proc: 0, Start: 0, End: 2},
+			{Task: 1, Proc: 1, Start: 3, End: 4},
+		},
+		Transfers: []schedule.Transfer{
+			{Arc: 0, From: 0, To: 1, Remote: true, Links: topo.Path(2, 0, 1), Start: 2, End: 3},
+		},
+	}
+	d.DeriveResources()
+	return d
+}
+
+func TestReplayCleanSchedule(t *testing.T) {
+	d := fixture()
+	tr, err := Replay(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Makespan != 4 {
+		t.Errorf("makespan = %g, want 4", tr.Makespan)
+	}
+	if len(tr.Events) != 6 {
+		t.Errorf("%d events, want 6", len(tr.Events))
+	}
+	if s := tr.String(); !strings.Contains(s, "task-start") || !strings.Contains(s, "xfer-end") {
+		t.Errorf("trace rendering incomplete:\n%s", s)
+	}
+}
+
+func TestReplayCatchesProcessorConflict(t *testing.T) {
+	d := fixture()
+	// Second task forced onto p1a at an overlapping time.
+	d.Assignments[1].Proc = 0
+	d.Assignments[1].Start, d.Assignments[1].End = 1, 2
+	d.Transfers[0].Remote = false
+	d.Transfers[0].Links = nil
+	d.Transfers[0].Start, d.Transfers[0].End = 2, 2
+	if _, err := Replay(d); err == nil || !strings.Contains(err.Error(), "busy") {
+		t.Errorf("processor conflict not caught: %v", err)
+	}
+}
+
+func TestReplayCatchesPrematureTransfer(t *testing.T) {
+	d := fixture()
+	d.Transfers[0].Start, d.Transfers[0].End = 1, 2 // data exists at t=2
+	if _, err := Replay(d); err == nil || !strings.Contains(err.Error(), "before its data") {
+		t.Errorf("premature transfer not caught: %v", err)
+	}
+}
+
+func TestReplayCatchesLateInput(t *testing.T) {
+	d := fixture()
+	d.Transfers[0].Start, d.Transfers[0].End = 3.5, 4.5 // arrives after B needed it
+	if _, err := Replay(d); err == nil || !strings.Contains(err.Error(), "needed input") {
+		t.Errorf("late input not caught: %v", err)
+	}
+}
+
+func TestReplayCatchesLinkConflict(t *testing.T) {
+	g := taskgraph.New("lk")
+	a := g.AddSubtask("A")
+	b := g.AddSubtask("B")
+	c := g.AddSubtask("C")
+	d0 := g.AddSubtask("D")
+	g.AddArc(a, b, taskgraph.ArcSpec{Volume: 2})
+	g.AddArc(c, d0, taskgraph.ArcSpec{Volume: 2})
+	g.MustFreeze()
+	lib := arch.NewLibrary("lib", 1, 1, 0)
+	lib.AddType("p1", 4, []float64{1, 1, 1, 1})
+	pool := arch.InstancePool(lib, []int{2})
+	topo := arch.PointToPoint{}
+	d := &schedule.Design{
+		Graph: g, Pool: pool, Topo: topo,
+		Assignments: []schedule.Assignment{
+			{Task: 0, Proc: 0, Start: 0, End: 1},
+			{Task: 1, Proc: 1, Start: 3.5, End: 4.5},
+			{Task: 2, Proc: 0, Start: 1, End: 2},
+			{Task: 3, Proc: 1, Start: 4.5, End: 5.5},
+		},
+		Transfers: []schedule.Transfer{
+			{Arc: 0, From: 0, To: 1, Remote: true, Links: topo.Path(2, 0, 1), Start: 1, End: 3},
+			{Arc: 1, From: 0, To: 1, Remote: true, Links: topo.Path(2, 0, 1), Start: 2, End: 4},
+		},
+	}
+	d.DeriveResources()
+	if _, err := Replay(d); err == nil || !strings.Contains(err.Error(), "link") {
+		t.Errorf("link conflict not caught: %v", err)
+	}
+}
+
+func TestSelfTimedCompressesSlack(t *testing.T) {
+	d := fixture()
+	// Delay B artificially: schedule-valid but with idle slack.
+	d.Assignments[1].Start, d.Assignments[1].End = 5, 6
+	d.Makespan = 6
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("slacked design invalid: %v", err)
+	}
+	st, err := SelfTimed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Makespan != 4 {
+		t.Errorf("self-timed makespan = %g, want compressed 4", st.Makespan)
+	}
+}
+
+func TestSelfTimedRespectsResourceOrder(t *testing.T) {
+	// Two independent tasks on one processor: self-timed keeps their
+	// scheduled order even when reversing would also be feasible.
+	g := taskgraph.New("ord")
+	g.AddSubtask("A")
+	g.AddSubtask("B")
+	g.MustFreeze()
+	lib := arch.NewLibrary("lib", 1, 1, 0)
+	lib.AddType("p1", 4, []float64{2, 1})
+	pool := arch.InstancePool(lib, []int{1})
+	d := &schedule.Design{
+		Graph: g, Pool: pool, Topo: arch.PointToPoint{},
+		Assignments: []schedule.Assignment{
+			{Task: 0, Proc: 0, Start: 10, End: 12},
+			{Task: 1, Proc: 0, Start: 20, End: 21},
+		},
+		Transfers: []schedule.Transfer{},
+	}
+	d.DeriveResources()
+	st, err := SelfTimed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aEnd, bStart float64
+	for _, e := range st.Events {
+		if e.Kind == TaskEnd && e.Task == 0 {
+			aEnd = e.Time
+		}
+		if e.Kind == TaskStart && e.Task == 1 {
+			bStart = e.Time
+		}
+	}
+	if aEnd != 2 || bStart != 2 {
+		t.Errorf("self-timed order: A ends %g, B starts %g; want 2 and 2", aEnd, bStart)
+	}
+}
+
+// TestRandomDesignsReplayAndCompress is the sim package's property test:
+// for random instances, optimal designs from the exact engine and greedy
+// designs from ETF must (a) replay cleanly, (b) self-time to a makespan
+// never exceeding the static one.
+func TestRandomDesignsReplayAndCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		g := taskgraph.Random(rng, taskgraph.RandomSpec{
+			Subtasks:  2 + rng.Intn(6),
+			ArcProb:   0.3 + rng.Float64()*0.3,
+			Fractions: trial%2 == 0,
+		})
+		g.MustFreeze()
+		lib := arch.RandomLibrary(rng, g, 2)
+		pool := arch.AutoPool(lib, g, 2)
+		procs := make([]arch.ProcID, pool.NumProcs())
+		for i := range procs {
+			procs[i] = arch.ProcID(i)
+		}
+		for _, topo := range []arch.Topology{arch.PointToPoint{}, arch.Bus{}, arch.Ring{}} {
+			etf, err := heur.ETF(g, pool, topo, procs)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			checkDesign(t, trial, etf)
+			// Optimal schedule of the ETF mapping.
+			mapping := make([]arch.ProcID, g.NumSubtasks())
+			for _, as := range etf.Assignments {
+				mapping[as.Task] = as.Proc
+			}
+			opt := exact.OptimalSchedule(g, pool, topo, mapping)
+			if opt == nil {
+				t.Fatalf("trial %d: no optimal schedule", trial)
+			}
+			if opt.Makespan > etf.Makespan+1e-9 {
+				t.Fatalf("trial %d %s: optimal schedule %g worse than ETF %g",
+					trial, topo.Name(), opt.Makespan, etf.Makespan)
+			}
+			checkDesign(t, trial, opt)
+		}
+	}
+}
+
+func checkDesign(t *testing.T, trial int, d *schedule.Design) {
+	t.Helper()
+	if err := d.Validate(nil); err != nil {
+		t.Fatalf("trial %d: invalid design: %v", trial, err)
+	}
+	tr, err := Replay(d)
+	if err != nil {
+		t.Fatalf("trial %d: replay failed: %v\n%s", trial, err, d.Gantt(60))
+	}
+	if math.Abs(tr.Makespan-d.Makespan) > 1e-9 {
+		t.Fatalf("trial %d: replay makespan %g vs design %g", trial, tr.Makespan, d.Makespan)
+	}
+	st, err := SelfTimed(d)
+	if err != nil {
+		t.Fatalf("trial %d: self-timed failed: %v", trial, err)
+	}
+	if st.Makespan > d.Makespan+1e-9 {
+		t.Fatalf("trial %d: self-timed %g exceeds static %g", trial, st.Makespan, d.Makespan)
+	}
+}

@@ -1,0 +1,69 @@
+// Package specfile defines the JSON problem-specification format shared by
+// the command-line tools: a task graph, a processor library, and an
+// optional instance pool.
+package specfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sos/internal/arch"
+	"sos/internal/taskgraph"
+)
+
+// Spec is the top-level document.
+type Spec struct {
+	Graph   *taskgraph.Graph `json:"graph"`
+	Library *arch.Library    `json:"library"`
+	// Pool gives the number of selectable instances per library type.
+	// Omitted: the tools size a default pool.
+	Pool []int `json:"pool,omitempty"`
+}
+
+// Parse decodes and validates a spec document.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("specfile: %w", err)
+	}
+	if s.Graph == nil {
+		return nil, fmt.Errorf("specfile: missing \"graph\"")
+	}
+	if s.Library == nil {
+		return nil, fmt.Errorf("specfile: missing \"library\"")
+	}
+	if err := s.Graph.Freeze(); err != nil {
+		return nil, err
+	}
+	if err := s.Library.Validate(s.Graph); err != nil {
+		return nil, err
+	}
+	if s.Pool != nil && len(s.Pool) != s.Library.NumTypes() {
+		return nil, fmt.Errorf("specfile: pool has %d entries for %d types", len(s.Pool), s.Library.NumTypes())
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Instances builds the processor pool: the explicit one if given, else a
+// default pool with up to two instances per type.
+func (s *Spec) Instances() *arch.Instances {
+	if s.Pool != nil {
+		return arch.InstancePool(s.Library, s.Pool)
+	}
+	return arch.AutoPool(s.Library, s.Graph, 2)
+}
+
+// Encode renders a spec back to JSON (template generation).
+func (s *Spec) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,81 @@
+package specfile
+
+import (
+	"strings"
+	"testing"
+
+	"sos/internal/expts"
+)
+
+const valid = `{
+  "graph": {
+    "name": "t",
+    "subtasks": [{"name": "A"}, {"name": "B"}],
+    "arcs": [{"src": "A", "dst": "B", "volume": 2, "fa": 1}]
+  },
+  "library": {
+    "name": "lib", "link_cost": 1, "remote_delay": 1, "local_delay": 0,
+    "types": [
+      {"name": "p1", "cost": 3, "exec": [1, 2]},
+      {"name": "p2", "cost": 2, "exec": [null, 1]}
+    ]
+  },
+  "pool": [2, 1]
+}`
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumSubtasks() != 2 || s.Graph.NumArcs() != 1 {
+		t.Error("graph lost")
+	}
+	if s.Library.NumTypes() != 2 {
+		t.Error("library lost")
+	}
+	if !s.Library.CanRun(0, 0) || s.Library.CanRun(1, 0) {
+		t.Error("capability (null exec) decoding wrong")
+	}
+	pool := s.Instances()
+	if pool.NumProcs() != 3 {
+		t.Errorf("pool size %d, want 3", pool.NumProcs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":                          `{`,
+		"missing graph":                     `{"library": {"types": []}}`,
+		"missing library":                   `{"graph": {"subtasks": [{"name":"A"}]}}`,
+		"pool arity":                        strings.Replace(valid, `"pool": [2, 1]`, `"pool": [2]`, 1),
+		"uncovered subtask (incapable lib)": strings.Replace(valid, `{"name": "p1", "cost": 3, "exec": [1, 2]}`, `{"name": "p1", "cost": 3, "exec": [null, 2]}`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	g, lib := expts.Example1()
+	s := &Spec{Graph: g, Library: lib, Pool: []int{2, 2, 2}}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Graph.NumArcs() != g.NumArcs() || s2.Library.NumTypes() != lib.NumTypes() {
+		t.Error("round trip lost structure")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/spec.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package taskgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the task data flow graph in Graphviz format, labeling each
+// arc with its volume and, when non-default, its f_R/f_A fractions —
+// a regenerable form of the paper's Figures 1 and 3.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle, fontsize=11];\n")
+	for _, s := range g.subtasks {
+		label := s.Name
+		if s.Mem != 0 {
+			label = fmt.Sprintf("%s\\nmem=%g", s.Name, s.Mem)
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", s.Name, label)
+	}
+	for _, a := range g.arcs {
+		label := fmt.Sprintf("i%d,%d V=%g", int(a.Dst)+1, a.DstPort, a.Volume)
+		if a.FR != 0 || a.FA != 1 {
+			label += fmt.Sprintf("\\nfR=%g fA=%g", a.FR, a.FA)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, fontsize=9];\n",
+			g.subtasks[a.Src].Name, g.subtasks[a.Dst].Name, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

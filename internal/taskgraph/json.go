@@ -1,0 +1,80 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire form of a Graph. Subtasks are referenced by name.
+type jsonGraph struct {
+	Name     string        `json:"name"`
+	Subtasks []jsonSubtask `json:"subtasks"`
+	Arcs     []jsonArc     `json:"arcs"`
+}
+
+type jsonSubtask struct {
+	Name string  `json:"name"`
+	Mem  float64 `json:"mem,omitempty"`
+}
+
+type jsonArc struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Volume float64 `json:"volume,omitempty"`
+	FR     float64 `json:"fr,omitempty"`
+	FA     float64 `json:"fa"`
+}
+
+// MarshalJSON encodes the graph in a stable, human-editable form.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, s := range g.subtasks {
+		jg.Subtasks = append(jg.Subtasks, jsonSubtask{Name: s.Name, Mem: s.Mem})
+	}
+	for _, a := range g.arcs {
+		jg.Arcs = append(jg.Arcs, jsonArc{
+			Src:    g.subtasks[a.Src].Name,
+			Dst:    g.subtasks[a.Dst].Name,
+			Volume: a.Volume,
+			FR:     a.FR,
+			FA:     a.FA,
+		})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON decodes a graph previously encoded with MarshalJSON (or
+// hand-written in the same format). The decoded graph is validated but not
+// frozen.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("taskgraph: %w", err)
+	}
+	ng := New(jg.Name)
+	byName := make(map[string]SubtaskID, len(jg.Subtasks))
+	for _, s := range jg.Subtasks {
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("taskgraph %q: duplicate subtask name %q", jg.Name, s.Name)
+		}
+		id := ng.AddSubtask(s.Name)
+		ng.SetMem(id, s.Mem)
+		byName[s.Name] = id
+	}
+	for _, a := range jg.Arcs {
+		src, ok := byName[a.Src]
+		if !ok {
+			return fmt.Errorf("taskgraph %q: arc references unknown subtask %q", jg.Name, a.Src)
+		}
+		dst, ok := byName[a.Dst]
+		if !ok {
+			return fmt.Errorf("taskgraph %q: arc references unknown subtask %q", jg.Name, a.Dst)
+		}
+		ng.AddArc(src, dst, ArcSpec{Volume: a.Volume, FR: a.FR, FA: a.FA, StrictFA: a.FA == 0})
+	}
+	if err := ng.Validate(); err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,50 @@
+package taskgraph
+
+import "math/rand"
+
+// RandomSpec controls Random graph generation.
+type RandomSpec struct {
+	Subtasks  int     // number of nodes (>= 1)
+	ArcProb   float64 // probability of an arc between each forward pair (default 0.3)
+	MaxVol    float64 // volumes drawn uniformly from [1, MaxVol] (default 4)
+	Fractions bool    // when set, draw f_R from {0,.25,.5} and f_A from {.5,.75,1}
+}
+
+// Random generates a random DAG: nodes are ordered 0..n-1 and arcs only go
+// forward, which guarantees acyclicity by construction. The result is
+// deterministic for a given rng state. Intended for property-based tests
+// and fuzz-style stressing of the model builder and schedulers.
+func Random(rng *rand.Rand, spec RandomSpec) *Graph {
+	n := spec.Subtasks
+	if n < 1 {
+		n = 1
+	}
+	p := spec.ArcProb
+	if p <= 0 {
+		p = 0.3
+	}
+	maxVol := spec.MaxVol
+	if maxVol < 1 {
+		maxVol = 4
+	}
+	g := New("random")
+	for i := 0; i < n; i++ {
+		g.AddSubtask("")
+	}
+	frs := []float64{0, 0.25, 0.5}
+	fas := []float64{0.5, 0.75, 1}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() >= p {
+				continue
+			}
+			as := ArcSpec{Volume: 1 + rng.Float64()*(maxVol-1), FA: 1}
+			if spec.Fractions {
+				as.FR = frs[rng.Intn(len(frs))]
+				as.FA = fas[rng.Intn(len(fas))]
+			}
+			g.AddArc(SubtaskID(i), SubtaskID(j), as)
+		}
+	}
+	return g
+}

@@ -1,0 +1,69 @@
+package viz
+
+import (
+	"context"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/expts"
+)
+
+func TestSVGWellFormedAndComplete(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	for _, topo := range []arch.Topology{arch.PointToPoint{}, arch.Bus{}, arch.Ring{}} {
+		res, err := exact.Synthesize(context.Background(), g, pool, topo,
+			exact.Options{Objective: exact.MinMakespan, CostCap: 14})
+		if err != nil || res.Design == nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		svg := SVG(res.Design, 0)
+		// Well-formed XML.
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				if err.Error() == "EOF" {
+					break
+				}
+				t.Fatalf("%s: malformed SVG: %v", topo.Name(), err)
+			}
+		}
+		// Every subtask and selected processor appears.
+		for _, s := range g.Subtasks() {
+			if !strings.Contains(svg, ">"+s.Name+"<") {
+				t.Errorf("%s: subtask %s missing from SVG", topo.Name(), s.Name)
+			}
+		}
+		for _, p := range res.Design.Procs {
+			if !strings.Contains(svg, pool.Proc(p).Name) {
+				t.Errorf("%s: processor %s missing from SVG", topo.Name(), pool.Proc(p).Name)
+			}
+		}
+		if topo.Name() == "bus" && len(res.Design.Links) > 0 && !strings.Contains(svg, ">bus<") {
+			t.Error("bus backbone missing")
+		}
+	}
+}
+
+func TestSVGDeterministic(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
+		exact.Options{Objective: exact.MinMakespan, CostCap: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SVG(res.Design, 800) != SVG(res.Design, 800) {
+		t.Error("SVG output not deterministic")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	if esc(`a<b>&"c`) != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("esc: %q", esc(`a<b>&"c`))
+	}
+}

@@ -1,0 +1,363 @@
+// Package sos synthesizes application-specific heterogeneous
+// multiprocessor systems, reproducing Prakash & Parker's SOS
+// ("Synthesis of Application-Specific Heterogeneous Multiprocessor
+// Systems", 1992). Given a task data flow graph and a library of
+// heterogeneous processor types, it produces a complete system — the
+// processors to buy, the interconnect links to build, the
+// subtask-to-processor mapping, and a static schedule — that is optimal
+// for the chosen objective: minimum task completion time under a cost cap,
+// or minimum cost under a deadline.
+//
+// Two exact engines are provided. EngineMILP is the paper's method: the
+// problem is compiled into a mixed integer-linear program (constraint
+// families (3.3.1)–(3.3.13), linearized per §3.4) and solved by branch and
+// bound over an LP relaxation, all implemented here from scratch.
+// EngineCombinatorial solves the identical problem by direct combinatorial
+// search (mapping enumeration + disjunctive scheduling) and is much faster
+// on paper-scale instances; the two cross-validate each other. EngineAuto
+// picks the combinatorial engine.
+//
+// Basic use:
+//
+//	g := sos.NewGraph("pipeline")
+//	fir := g.AddSubtask("fir")
+//	fft := g.AddSubtask("fft")
+//	g.AddArc(fir, fft, sos.ArcSpec{Volume: 2})
+//
+//	lib := sos.NewLibrary("boards", 1 /*C_L*/, 1 /*D_CR*/, 0 /*D_CL*/)
+//	lib.AddType("dsp", 5, []float64{1, 4})
+//	lib.AddType("gp", 3, []float64{3, 3})
+//
+//	res, err := sos.Synthesize(ctx, sos.Spec{Graph: g, Library: lib})
+//	fmt.Println(res.Design)          // cost/perf/processor summary
+//	fmt.Print(res.Design.Gantt(60))  // Figure-2-style schedule chart
+package sos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/exact"
+	"sos/internal/heur"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/pareto"
+	"sos/internal/schedule"
+	"sos/internal/sim"
+	"sos/internal/taskgraph"
+)
+
+// Re-exported problem-description types. See the internal packages for
+// full method documentation.
+type (
+	// Graph is a task data flow graph (§3.1 of the paper).
+	Graph = taskgraph.Graph
+	// SubtaskID identifies a subtask node.
+	SubtaskID = taskgraph.SubtaskID
+	// ArcID identifies a data arc.
+	ArcID = taskgraph.ArcID
+	// ArcSpec describes a data arc: volume, f_R, f_A.
+	ArcSpec = taskgraph.ArcSpec
+	// Library is a set of heterogeneous processor types (§3.2).
+	Library = arch.Library
+	// Pool is the set of processor instances the synthesizer may select.
+	Pool = arch.Instances
+	// ProcID identifies a processor instance in a Pool.
+	ProcID = arch.ProcID
+	// Topology is an interconnect style: PointToPoint, Bus, or Ring.
+	Topology = arch.Topology
+	// Design is a synthesized system plus its static schedule.
+	Design = schedule.Design
+	// Trace is a simulated execution log.
+	Trace = sim.Trace
+)
+
+// NewGraph creates an empty task data flow graph.
+func NewGraph(name string) *Graph { return taskgraph.New(name) }
+
+// NewLibrary creates a processor library with communication parameters
+// C_L (link cost), D_CR (remote delay per data unit), and D_CL (local
+// delay per data unit).
+func NewLibrary(name string, linkCost, remoteDelay, localDelay float64) *Library {
+	return arch.NewLibrary(name, linkCost, remoteDelay, localDelay)
+}
+
+// NoTime marks a processor type as incapable of a subtask in
+// Library.AddType exec tables.
+var NoTime = arch.NoTime
+
+// PointToPoint is the paper's primary interconnect style: a dedicated
+// directed link per communicating processor pair.
+func PointToPoint() Topology { return arch.PointToPoint{} }
+
+// Bus is the §4.3.2 style: one shared bus serializing all remote traffic.
+func Bus() Topology { return arch.Bus{} }
+
+// Ring is the §5 extension: instances on fixed ring slots, hop-count
+// delays, per-segment link costs.
+func Ring() Topology { return arch.Ring{} }
+
+// SharedMemory is the §5 shared-memory instantiation: remote transfers
+// write then read through one global memory port (2·D_CR per unit),
+// serializing all remote traffic; moduleCost is charged once if any
+// remote transfer exists.
+func SharedMemory(moduleCost float64) Topology { return arch.SharedMemory{Cost: moduleCost} }
+
+// FixedPool creates an explicit instance pool: copies[t] instances of each
+// library type t.
+func FixedPool(lib *Library, copies []int) *Pool { return arch.InstancePool(lib, copies) }
+
+// DefaultPool sizes an instance pool automatically for a graph: per type,
+// one instance per runnable subtask, capped at maxPerType (0 = uncapped).
+func DefaultPool(lib *Library, g *Graph, maxPerType int) *Pool {
+	return arch.AutoPool(lib, g, maxPerType)
+}
+
+// Objective selects what synthesis minimizes.
+type Objective int
+
+// Objectives.
+const (
+	// MinMakespan minimizes task completion time subject to Spec.CostCap.
+	MinMakespan Objective = iota
+	// MinCost minimizes system cost subject to Spec.Deadline.
+	MinCost
+)
+
+// Engine selects the solver.
+type Engine int
+
+// Engines.
+const (
+	// EngineAuto uses the combinatorial engine (fastest exact method).
+	EngineAuto Engine = iota
+	// EngineMILP uses the paper's mixed integer-linear programming
+	// formulation solved by LP-based branch and bound.
+	EngineMILP
+	// EngineCombinatorial uses mapping-enumeration + disjunctive
+	// scheduling branch and bound.
+	EngineCombinatorial
+	// EngineHeuristic uses the greedy configuration-enumerating
+	// synthesizer with ETF scheduling (fast, inexact baseline).
+	EngineHeuristic
+)
+
+// Spec describes one synthesis problem.
+type Spec struct {
+	// Graph is the application's task data flow graph. Required.
+	Graph *Graph
+	// Library is the processor-type library. Required.
+	Library *Library
+	// Pool overrides the processor instance pool (default: DefaultPool
+	// with 2 instances per type).
+	Pool *Pool
+	// Topology selects the interconnect style (default PointToPoint).
+	Topology Topology
+
+	// Objective (default MinMakespan).
+	Objective Objective
+	// CostCap bounds system cost under MinMakespan (0 = uncapped).
+	CostCap float64
+	// Deadline bounds completion time under MinCost. Required there.
+	Deadline float64
+
+	// Engine (default EngineAuto).
+	Engine Engine
+	// Budget caps each solve's wall time (0 = unlimited).
+	Budget time.Duration
+
+	// Memory enables the §5 local-memory cost extension.
+	Memory bool
+	// NoOverlapIO enables the §5 no-I/O-module variant.
+	NoOverlapIO bool
+}
+
+func (s *Spec) withDefaults() (Spec, error) {
+	out := *s
+	if out.Graph == nil || out.Library == nil {
+		return out, fmt.Errorf("sos: Spec requires Graph and Library")
+	}
+	if out.Topology == nil {
+		out.Topology = arch.PointToPoint{}
+	}
+	if out.Pool == nil {
+		out.Pool = arch.AutoPool(out.Library, out.Graph, 2)
+	}
+	return out, nil
+}
+
+// Result is the outcome of Synthesize.
+type Result struct {
+	// Design is the synthesized system and schedule (nil when the spec is
+	// infeasible).
+	Design *Design
+	// Optimal reports whether optimality was proven. Heuristic results
+	// and budget-limited searches report false.
+	Optimal bool
+	// Infeasible reports a proven-infeasible spec.
+	Infeasible bool
+	// Engine that produced the result.
+	Engine Engine
+	// Nodes explored by the search (0 for the heuristic).
+	Nodes int
+	// ModelStats describes the MILP when EngineMILP ran.
+	ModelStats *model.Stats
+}
+
+// Synthesize solves one synthesis problem. Every returned design has been
+// re-checked by the independent schedule validator.
+func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
+	sp, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: sp.Engine}
+	switch sp.Engine {
+	case EngineMILP:
+		mo := model.Options{CostCap: sp.CostCap, Deadline: sp.Deadline,
+			Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO}
+		if sp.Objective == MinCost {
+			mo.Objective = model.MinCost
+		}
+		m, err := model.Build(sp.Graph, sp.Pool, sp.Topology, mo)
+		if err != nil {
+			return nil, err
+		}
+		st := m.Stats
+		res.ModelStats = &st
+		design, sol, err := m.Solve(ctx, &milp.Options{TimeLimit: sp.Budget})
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes = sol.Nodes
+		res.Design = design
+		res.Optimal = sol.Status == milp.Optimal
+		res.Infeasible = sol.Status == milp.Infeasible
+	case EngineHeuristic:
+		maxCounts := make([]int, sp.Library.NumTypes())
+		for _, p := range sp.Pool.Procs() {
+			maxCounts[p.Type]++
+		}
+		hd, err := heur.Synthesize(sp.Graph, sp.Library, sp.Topology, heur.SynthOptions{
+			CostCap: sp.CostCap, MaxCounts: maxCounts,
+		})
+		if err != nil {
+			res.Infeasible = true
+			return res, nil
+		}
+		res.Design = hd
+	default: // EngineAuto, EngineCombinatorial
+		eo := exact.Options{CostCap: sp.CostCap, Deadline: sp.Deadline,
+			TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
+		if sp.Objective == MinCost {
+			eo.Objective = exact.MinCost
+		}
+		r, err := exact.Synthesize(ctx, sp.Graph, sp.Pool, sp.Topology, eo)
+		if err != nil {
+			return nil, err
+		}
+		res.Design = r.Design
+		res.Optimal = r.Optimal && r.Design != nil
+		res.Infeasible = r.Optimal && r.Design == nil
+		res.Nodes = r.Nodes
+	}
+	if res.Design != nil {
+		if err := res.Design.Validate(&schedule.ValidateOptions{NoOverlapIO: sp.NoOverlapIO}); err != nil {
+			return nil, fmt.Errorf("sos: synthesized design failed validation: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// FrontierPoint is one non-inferior design of a cost/performance sweep.
+type FrontierPoint struct {
+	Design *Design
+	Cost   float64
+	Perf   float64
+}
+
+// Frontier traces the complete non-inferior (cost, performance) design
+// set of a spec by sweeping the cost cap, the way the paper generates its
+// Tables II, IV, and V. Spec.Objective/CostCap/Deadline are ignored.
+func Frontier(ctx context.Context, spec Spec) ([]FrontierPoint, error) {
+	sp, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	opts := pareto.Options{
+		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
+	}
+	switch sp.Engine {
+	case EngineMILP:
+		opts.Engine = pareto.EngineMILP
+		opts.MILP = &milp.Options{TimeLimit: sp.Budget}
+	default:
+		opts.Engine = pareto.EngineCombinatorial
+		opts.Exact = &exact.Options{TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
+	}
+	pts, err := pareto.Sweep(ctx, sp.Graph, sp.Pool, sp.Topology, opts)
+	out := make([]FrontierPoint, len(pts))
+	for i, p := range pts {
+		out[i] = FrontierPoint{Design: p.Design, Cost: p.Cost(), Perf: p.Perf()}
+	}
+	return out, err
+}
+
+// FrontierByDeadline traces the same non-inferior set as Frontier but from
+// the timing side: repeatedly minimize cost under a deadline just below
+// the previous design's makespan. perfStep is the deadline decrement
+// (0 = default 1e-3; it must exceed solver noise).
+func FrontierByDeadline(ctx context.Context, spec Spec, perfStep float64) ([]FrontierPoint, error) {
+	sp, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	opts := pareto.Options{
+		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
+	}
+	switch sp.Engine {
+	case EngineMILP:
+		opts.Engine = pareto.EngineMILP
+		opts.MILP = &milp.Options{TimeLimit: sp.Budget}
+	default:
+		opts.Engine = pareto.EngineCombinatorial
+		opts.Exact = &exact.Options{TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
+	}
+	pts, err := pareto.SweepByDeadline(ctx, sp.Graph, sp.Pool, sp.Topology, opts, perfStep)
+	out := make([]FrontierPoint, len(pts))
+	for i, p := range pts {
+		out[i] = FrontierPoint{Design: p.Design, Cost: p.Cost(), Perf: p.Perf()}
+	}
+	return out, err
+}
+
+// Validate re-checks a design against every correctness rule of the
+// paper's §3.3 (mapping, capability, durations, data availability, f_R
+// deadlines, transfer delays, processor and link exclusion, accounting).
+func Validate(d *Design) error { return d.Validate(nil) }
+
+// Simulate replays a design's static schedule on the discrete-event
+// machine model and returns the event trace; it errors on any causality
+// or resource conflict the hardware would hit.
+func Simulate(d *Design) (*Trace, error) { return sim.Replay(d) }
+
+// SimulateSelfTimed executes the design as-soon-as-possible, keeping only
+// the schedule's per-resource event orders, and returns the compressed
+// trace (its makespan never exceeds the static schedule's).
+func SimulateSelfTimed(d *Design) (*Trace, error) { return sim.SelfTimed(d) }
+
+// Metrics summarizes an executed schedule: processor and link utilization
+// plus peak I/O-module buffer occupancy (the §5 buffer-sizing analysis).
+type Metrics = sim.Metrics
+
+// Measure computes Metrics for a design's static schedule.
+func Measure(d *Design) *Metrics { return sim.Measure(d) }
+
+// SlackReport describes per-activity slack and the critical path of a
+// schedule — where a designer must add hardware or speed to go faster.
+type SlackReport = sim.SlackReport
+
+// Slack computes the slack report for a design.
+func Slack(d *Design) (*SlackReport, error) { return sim.Slack(d) }
