@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: tier1 vet build test bench-smoke bench perf
+
+## tier1: the gate every change must pass — vet, build, race-enabled
+## tests, and a one-iteration smoke of the headline benchmark.
+tier1: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+## bench-smoke: single iteration of BenchmarkTable2MILP; catches
+## regressions that break the reproduced Table II (the benchmark asserts
+## the frontier on every iteration) without a full measurement run.
+bench-smoke:
+	$(GO) test -run 'NO_TESTS' -bench 'BenchmarkTable2MILP$$' -benchtime 1x .
+
+## bench: the full measurement suite with allocation stats.
+bench:
+	$(GO) test -run 'NO_TESTS' -bench . -benchmem .
+
+## perf: machine-readable solver-throughput report (BENCH_<date>.json).
+perf:
+	$(GO) run ./cmd/sosbench -perf

@@ -19,6 +19,7 @@ import (
 	"sos/internal/exact"
 	"sos/internal/expts"
 	"sos/internal/heur"
+	"sos/internal/lp"
 	"sos/internal/milp"
 	"sos/internal/model"
 	"sos/internal/pareto"
@@ -51,20 +52,155 @@ func exactSweep(b *testing.B, g *Graph, pool *Pool, topo Topology) []pareto.Poin
 }
 
 // BenchmarkTable2MILP regenerates Table II with the paper's own MILP
-// method (Figure 1 graph, Table I processors, point-to-point).
+// method (Figure 1 graph, Table I processors, point-to-point), using the
+// tuned search configuration: warm-started node re-solves, pseudo-cost
+// branching, best-first search, and a two-worker shared-incumbent pool.
 func BenchmarkTable2MILP(b *testing.B) {
+	benchTable2(b, &milp.Options{
+		TimeLimit: 10 * time.Minute,
+		Branch:    milp.BranchPseudoCost,
+		Order:     milp.BestFirst,
+		Workers:   2,
+	})
+}
+
+// BenchmarkTable2MILPSequential is BenchmarkTable2MILP without the worker
+// pool (warm starts and search strategy unchanged).
+func BenchmarkTable2MILPSequential(b *testing.B) {
+	benchTable2(b, &milp.Options{
+		TimeLimit: 10 * time.Minute,
+		Branch:    milp.BranchPseudoCost,
+		Order:     milp.BestFirst,
+	})
+}
+
+// BenchmarkTable2MILPColdDFS is the pre-optimization baseline: cold
+// tableau rebuilds at every node, depth-first search, most-fractional
+// branching, one worker (the seed's only configuration).
+func BenchmarkTable2MILPColdDFS(b *testing.B) {
+	benchTable2(b, &milp.Options{TimeLimit: 10 * time.Minute, ColdLP: true})
+}
+
+func benchTable2(b *testing.B, opts *milp.Options) {
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
 			Engine: pareto.EngineMILP,
-			MILP:   &milp.Options{TimeLimit: 10 * time.Minute},
+			MILP:   opts,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		requireFrontier(b, pts, expts.Table2)
 	}
+}
+
+// BenchmarkNodeThroughput measures raw branch-and-bound node throughput on
+// the hardest Example 1 sweep point (cost cap 14, no heuristic incumbent),
+// reporting nodes explored per second and per solve alongside ns/op.
+func BenchmarkNodeThroughput(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalNodes := 0
+	for i := 0; i < b.N; i++ {
+		design, sol, err := m.Solve(context.Background(), &milp.Options{
+			Branch: milp.BranchPseudoCost, Order: milp.BestFirst,
+		})
+		if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-2.5) > 1e-6 {
+			b.Fatalf("err=%v status=%v", err, sol.Status)
+		}
+		totalNodes += sol.Nodes
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalNodes)/float64(b.N), "nodes/op")
+	b.ReportMetric(float64(totalNodes)/b.Elapsed().Seconds(), "nodes/s")
+}
+
+// BenchmarkWarmResolve measures one warm-started node re-solve: a single
+// binary is fixed to 0 and released again on alternating solves — the
+// dive/backtrack transition branch and bound makes — served by
+// lp.Resolver's retained basis.
+func BenchmarkWarmResolve(b *testing.B) {
+	m, branch := resolveFixture(b)
+	r, err := m.Prob.NewResolver(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sol, err := r.Solve(nil); err != nil || sol.Status != lp.Optimal {
+		b.Fatalf("base solve: %v %v", err, sol.Status)
+	}
+	fix0 := map[lp.ColID][2]float64{branch: {0, 0}}
+	free := map[lp.ColID][2]float64{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bounds := fix0
+		if i%2 == 1 {
+			bounds = free
+		}
+		sol, err := r.Solve(bounds)
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("re-solve %d: %v %v", i, err, sol.Status)
+		}
+	}
+	b.StopTimer()
+	st := r.Stats()
+	if st.Warm == 0 {
+		b.Fatalf("warm path never taken: %+v", st)
+	}
+	b.ReportMetric(float64(st.Warm)/float64(st.Warm+st.Cold), "warm-frac")
+}
+
+// BenchmarkColdResolve is the cold counterpart of BenchmarkWarmResolve:
+// the identical bound transitions served by from-scratch two-phase solves
+// (what every node paid before the resolver existed).
+func BenchmarkColdResolve(b *testing.B) {
+	m, branch := resolveFixture(b)
+	fix0 := map[lp.ColID][2]float64{branch: {0, 0}}
+	free := map[lp.ColID][2]float64{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bounds := fix0
+		if i%2 == 1 {
+			bounds = free
+		}
+		sol, err := m.Prob.Solve(&lp.Options{BoundOverride: bounds})
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("solve %d: %v %v", i, err, sol.Status)
+		}
+	}
+}
+
+// resolveFixture builds the Example 1 cap-14 relaxation and picks a branch
+// column that is fractional at the root, so the warm/cold resolve pair
+// measures a realistic dive transition.
+func resolveFixture(b *testing.B) (*model.Model, lp.ColID) {
+	b.Helper()
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := m.Prob.Solve(nil)
+	if err != nil || root.Status != lp.Optimal {
+		b.Fatalf("root: %v %v", err, root.Status)
+	}
+	for _, c := range m.BranchCols() {
+		if f := math.Abs(root.X[c] - math.Round(root.X[c])); f > 1e-6 {
+			return m, c
+		}
+	}
+	return m, m.BranchCols()[0]
 }
 
 // BenchmarkTable2Exact regenerates Table II with the combinatorial engine.

@@ -13,6 +13,7 @@
 //	-baseline          heuristic (ETF) synthesizer vs exact optima
 //	-ring              §5 ring-interconnect frontier (extension)
 //	-all               everything above
+//	-perf              solver-throughput report, written to BENCH_<date>.json
 //
 // By default frontiers are traced with the combinatorial engine (exact and
 // fast). -engine milp uses the paper's MILP method for everything it can
@@ -66,6 +67,7 @@ func main() {
 		basel   = flag.Bool("baseline", false, "")
 		ring    = flag.Bool("ring", false, "")
 		scaling = flag.Bool("scaling", false, "beyond-paper: engine runtime vs problem size")
+		perf    = flag.Bool("perf", false, "measure solver throughput and write BENCH_<date>.json")
 	)
 	flag.Parse()
 
@@ -91,6 +93,10 @@ func main() {
 	run(*ring, RingStudy)
 	if *scaling {
 		ScalingStudy()
+		ran = true
+	}
+	if *perf {
+		Perf()
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/pareto"
+)
+
+// perfResult is one machine-readable measurement in the BENCH_<date>.json
+// report (the CI/throughput counterpart of the human-readable tables).
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Nodes       int     `json:"nodes_explored,omitempty"`
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
+	Iterations  int     `json:"iterations"`
+}
+
+type perfReport struct {
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Results   []perfResult `json:"results"`
+}
+
+// Perf measures the MILP engine's node throughput and the warm-vs-cold
+// re-solve costs, then writes BENCH_<date>.json next to the working
+// directory. Configurations mirror bench_test.go so the two stay
+// comparable.
+func Perf() {
+	fmt.Println("== Performance report ==")
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+
+	report := perfReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	sweep := func(opts milp.Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := opts
+				o.TimeLimit = *budget
+				pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
+					Engine: pareto.EngineMILP, MILP: &o,
+				})
+				// log.Fatalf, not b.Fatalf: outside a test binary the
+				// benchmark harness has no logger and b.Fatalf segfaults.
+				if err != nil || len(pts) == 0 {
+					log.Fatalf("perf sweep failed (budget too small?): %v (%d points)", err, len(pts))
+				}
+			}
+		}
+	}
+
+	add := func(name string, nodes int, r testing.BenchmarkResult) {
+		pr := perfResult{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Nodes:       nodes,
+			Iterations:  r.N,
+		}
+		if nodes > 0 && r.T > 0 {
+			pr.NodesPerSec = float64(nodes*r.N) / r.T.Seconds()
+		}
+		report.Results = append(report.Results, pr)
+		fmt.Printf("  %-26s %12d ns/op %10d B/op %8d allocs/op",
+			name, pr.NsPerOp, pr.BytesPerOp, pr.AllocsPerOp)
+		if nodes > 0 {
+			fmt.Printf(" %6d nodes (%.0f nodes/s)", nodes, pr.NodesPerSec)
+		}
+		fmt.Println()
+	}
+
+	add("table2-sweep-warm-2w", 0, testing.Benchmark(sweep(milp.Options{
+		Branch: milp.BranchPseudoCost, Order: milp.BestFirst, Workers: 2,
+	})))
+	add("table2-sweep-warm-seq", 0, testing.Benchmark(sweep(milp.Options{
+		Branch: milp.BranchPseudoCost, Order: milp.BestFirst,
+	})))
+	add("table2-sweep-cold-dfs", 0, testing.Benchmark(sweep(milp.Options{ColdLP: true})))
+
+	// Single hardest sweep point, tracking nodes explored.
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var nodes int
+	solve := func(opts milp.Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			nodes = 0
+			for i := 0; i < b.N; i++ {
+				o := opts
+				o.TimeLimit = *budget
+				design, sol, err := m.Solve(context.Background(), &o)
+				if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-2.5) > 1e-6 {
+					log.Fatalf("perf cap-14 solve failed (budget too small?): err=%v status=%v", err, sol.Status)
+				}
+				nodes = sol.Nodes
+			}
+		}
+	}
+	r := testing.Benchmark(solve(milp.Options{Branch: milp.BranchPseudoCost, Order: milp.BestFirst}))
+	add("cap14-solve-warm-bestfirst", nodes, r)
+	r = testing.Benchmark(solve(milp.Options{ColdLP: true}))
+	add("cap14-solve-cold-dfs", nodes, r)
+
+	out := fmt.Sprintf("BENCH_%s.json", report.Date)
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n\n", out)
+}

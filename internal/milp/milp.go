@@ -8,14 +8,26 @@
 // are explored depth-first (to find incumbents fast) with best-bound
 // reordering among siblings. A warm-start incumbent (e.g. from a heuristic
 // schedule) can be supplied to tighten pruning from the first node.
+//
+// Two solver-level optimizations carry the node throughput:
+//
+//   - Node LPs are solved through lp.Resolver: one persistent tableau per
+//     worker, re-optimized by dual simplex after each node's bound changes
+//     instead of rebuilding and running two phases cold (Options.ColdLP
+//     restores the old behaviour for ablation).
+//   - Options.Workers > 1 fans the frontier out to a pool of workers
+//     sharing an incumbent (atomic best-bound pruning), pseudo-cost
+//     history, and reduced-cost fixings, in the style of
+//     internal/exact.SynthesizeParallel.
 package milp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sos/internal/lp"
@@ -63,6 +75,9 @@ type Solution struct {
 	Nodes  int       // branch-and-bound nodes explored
 	Bound  float64   // best proven lower bound on the optimum
 	Gap    float64   // |Obj-Bound| relative gap (0 when Optimal)
+	// LPStats aggregates how node relaxations were solved (warm vs cold)
+	// across all workers; zero when Options.ColdLP is set.
+	LPStats lp.ResolveStats
 }
 
 // Options tunes the search. The zero value gives exact defaults.
@@ -80,13 +95,23 @@ type Options struct {
 	// LP passes options through to the LP relaxation solves.
 	LP *lp.Options
 	// OnIncumbent, when non-nil, is called with each strictly improving
-	// integer solution found (objective, values). Useful for logging and
-	// anytime use.
+	// integer solution found (objective, values). Calls are serialized and
+	// strictly improving even with Workers > 1; the callback must not call
+	// back into the solver.
 	OnIncumbent func(obj float64, x []float64)
 	// Branch selects the branching rule (default most-fractional).
 	Branch BranchRule
 	// Order selects the node-selection strategy (default depth-first).
 	Order NodeOrder
+	// Workers sets the number of parallel search workers; 0 or 1 searches
+	// sequentially. The parallel search returns the same optimal objective
+	// as the sequential one (argmin may differ on ties) and the same
+	// proven status on unlimited budgets.
+	Workers int
+	// ColdLP disables warm-started node re-solves, rebuilding the simplex
+	// tableau from scratch at every node (the pre-resolver behaviour).
+	// Ablation/debugging only.
+	ColdLP bool
 }
 
 func (o *Options) intTol() float64 {
@@ -125,188 +150,162 @@ type node struct {
 	branchFrac float64 // fractional part of branchCol at the parent
 }
 
-// errBudget distinguishes budget exhaustion inside the search loop.
-var errBudget = errors.New("milp: budget exhausted")
+func rootNode() *node {
+	return &node{bounds: map[lp.ColID][2]float64{}, bound: math.Inf(-1), branchCol: -1}
+}
 
-// Solve runs branch and bound. The context may cancel the search early; a
-// Feasible (or NoSolution) result is returned in that case.
-func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
-	if opts == nil {
-		opts = &Options{}
+// budgetStride amortizes time.Now and ctx.Err polling: workers only check
+// the wall clock and context every budgetStride processed nodes (node and
+// incumbent pruning stay per-node).
+const budgetStride = 64
+
+// bbState is the search state shared by every worker of one Solve call:
+// incumbent, pseudo-costs, root information, reduced-cost fixings, and
+// budget flags. All fields are safe for concurrent use as annotated.
+type bbState struct {
+	s        *Solver
+	opts     *Options
+	tol      float64
+	ctx      context.Context
+	deadline time.Time
+
+	mu       sync.Mutex    // guards bestX, firstErr, refix recompute
+	bestBits atomic.Uint64 // math.Float64bits of the incumbent objective
+	bestX    []float64
+	firstErr error
+
+	pc *pseudoCost // internally locked
+
+	// Root facts, written once during the sequential root expansion
+	// (before any parallel worker starts) and read-only afterwards.
+	rootDone      bool
+	rootUnbounded bool
+	rootBound     float64
+	rootRC        []float64
+
+	// fixed holds the current reduced-cost fixing snapshot as an immutable
+	// map; refixLocked publishes a fresh map on incumbent improvement.
+	fixed atomic.Pointer[map[lp.ColID][2]float64]
+
+	nodes    atomic.Int64
+	stop     atomic.Bool // budget exhausted: halt the search
+	unproven atomic.Bool // optimality can no longer be claimed
+
+	lpMu    sync.Mutex
+	lpStats lp.ResolveStats
+}
+
+func (st *bbState) best() float64 { return math.Float64frombits(st.bestBits.Load()) }
+
+// pruneTol is the absolute optimality slack used when cutting nodes
+// against the incumbent. Warm-started LP bounds carry round-off on the
+// order of 1e-8, so the seed's 1e-9 margin would let every node that
+// exactly ties the incumbent (common under the degenerate makespan
+// objectives here) escape the prune and be searched in full; 1e-6 absorbs
+// that drift while staying far below any real objective difference.
+const pruneTol = 1e-6
+
+// offer installs a strictly improving incumbent (x must be owned by the
+// caller and integral) and refreshes reduced-cost fixings.
+func (st *bbState) offer(x []float64, obj float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if obj >= st.best()-1e-9 {
+		return
 	}
-	tol := opts.intTol()
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+	st.bestBits.Store(math.Float64bits(obj))
+	st.bestX = x
+	st.refixLocked()
+	if st.opts.OnIncumbent != nil {
+		st.opts.OnIncumbent(obj, x)
 	}
+}
 
-	best := math.Inf(1)
-	var bestX []float64
-	if opts.Incumbent != nil {
-		if len(opts.Incumbent) != s.prob.NumCols() {
-			return nil, fmt.Errorf("milp: incumbent has %d values, problem has %d columns",
-				len(opts.Incumbent), s.prob.NumCols())
-		}
-		best = s.objOf(opts.Incumbent)
-		bestX = append([]float64(nil), opts.Incumbent...)
+// refixLocked recomputes reduced-cost fixings from the root reduced costs
+// and the current incumbent, publishing an immutable snapshot. A nonbasic
+// binary whose root reduced cost exceeds the optimality gap cannot change
+// value in any improving solution, so fixing it globally is sound for the
+// incumbent objective used to derive it (and stays sound as the incumbent
+// only improves). Must hold st.mu.
+func (st *bbState) refixLocked() {
+	best := st.best()
+	if st.rootRC == nil || math.IsInf(best, 1) || math.IsInf(st.rootBound, -1) {
+		return
 	}
-
-	res := &Solution{}
-	rootBound := math.Inf(-1)
-	budgetHit := false
-	pc := newPseudoCost()
-
-	// Reduced-cost fixing state: root reduced costs plus a growing set of
-	// globally-fixed binaries (sound for any incumbent value `best`).
-	var rootRC []float64
-	fixed := map[lp.ColID][2]float64{}
-	refix := func() {
-		if rootRC == nil || math.IsInf(best, 1) || math.IsInf(rootBound, -1) {
-			return
-		}
-		gap := best - rootBound - 1e-9
-		for _, c := range s.integer {
-			if _, done := fixed[c]; done {
+	gap := best - st.rootBound - pruneTol
+	cur := st.fixed.Load()
+	var nf map[lp.ColID][2]float64
+	for _, c := range st.s.integer {
+		if cur != nil {
+			if _, done := (*cur)[c]; done {
 				continue
 			}
-			col := s.prob.Col(c)
-			rc := rootRC[c]
+		}
+		col := st.s.prob.Col(c)
+		rc := st.rootRC[c]
+		var b [2]float64
+		switch {
+		case rc > gap && col.Ub-col.Lb >= 1:
 			// Nonbasic at lb with rc > gap: raising it by one unit already
 			// exceeds the incumbent; symmetric at ub.
-			if rc > gap && col.Ub-col.Lb >= 1 {
-				fixed[c] = [2]float64{col.Lb, col.Lb}
-			} else if -rc > gap && col.Ub-col.Lb >= 1 {
-				fixed[c] = [2]float64{col.Ub, col.Ub}
+			b = [2]float64{col.Lb, col.Lb}
+		case -rc > gap && col.Ub-col.Lb >= 1:
+			b = [2]float64{col.Ub, col.Ub}
+		default:
+			continue
+		}
+		if nf == nil {
+			if cur != nil {
+				nf = cloneBounds(*cur)
+			} else {
+				nf = map[lp.ColID][2]float64{}
 			}
 		}
+		nf[c] = b
 	}
-
-	open := newFrontier(opts.Order)
-	open.push(&node{bounds: map[lp.ColID][2]float64{}, bound: math.Inf(-1), branchCol: -1})
-	for !open.empty() {
-		if err := ctx.Err(); err != nil {
-			budgetHit = true
-			break
-		}
-		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
-			budgetHit = true
-			break
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			budgetHit = true
-			break
-		}
-
-		nd := open.pop()
-		if nd.bound >= best-1e-9 && !math.IsInf(nd.bound, -1) {
-			continue // pruned by incumbent
-		}
-		res.Nodes++
-
-		bounds := nd.bounds
-		if len(fixed) > 0 {
-			bounds = cloneBounds(nd.bounds)
-			// Globally-proven fixings win: a subtree contradicting one
-			// contains no improving solution, so collapsing it is sound.
-			for c, b := range fixed {
-				bounds[c] = b
-			}
-		}
-		lpOpts := lp.Options{BoundOverride: bounds}
-		if opts.LP != nil {
-			lpOpts.MaxIters = opts.LP.MaxIters
-			lpOpts.Eps = opts.LP.Eps
-		}
-		sol, err := s.prob.Solve(&lpOpts)
-		if err != nil {
-			return nil, err
-		}
-		switch sol.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if res.Nodes == 1 {
-				return &Solution{Status: Unbounded, Nodes: res.Nodes, Obj: math.Inf(-1)}, nil
-			}
-			continue // should not happen below the root; treat as cut off
-		case lp.IterLimit:
-			// Conservative: cannot trust the bound. Drop the subtree and
-			// record that optimality can no longer be proven.
-			budgetHit = true
-			continue
-		}
-		if res.Nodes == 1 {
-			rootBound = sol.Obj
-			rootRC = sol.ReducedCosts
-			refix()
-		}
-		if nd.branchCol >= 0 && nd.branchFrac > tol && !math.IsInf(nd.bound, -1) {
-			// Pseudo-cost bookkeeping: degradation per unit fraction.
-			width := nd.branchFrac
-			if nd.branchUp {
-				width = 1 - nd.branchFrac
-			}
-			if width > tol {
-				pc.observe(nd.branchCol, nd.branchUp, (sol.Obj-nd.bound)/width)
-			}
-		}
-		if sol.Obj >= best-1e-9 {
-			continue // bound-dominated
-		}
-
-		col := s.chooseBranch(opts.Branch, pc, sol.X, tol)
-		if col < 0 {
-			// Integer feasible.
-			x := s.roundIntegers(sol.X, tol)
-			obj := s.objOf(x)
-			if obj < best-1e-9 {
-				best = obj
-				bestX = x
-				refix()
-				if opts.OnIncumbent != nil {
-					opts.OnIncumbent(obj, x)
-				}
-			}
-			continue
-		}
-
-		// Branch on the chosen column: floor side and ceil side.
-		v := sol.X[col]
-		lo, hi := s.colBounds(nd, col)
-		fl := math.Floor(v + tol)
-		f := v - fl
-		down := cloneBounds(nd.bounds)
-		down[col] = [2]float64{lo, fl}
-		up := cloneBounds(nd.bounds)
-		up[col] = [2]float64{fl + 1, hi}
-
-		children := []*node{
-			{bounds: down, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: false, branchFrac: f},
-			{bounds: up, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: true, branchFrac: f},
-		}
-		// Depth-first explores the side nearer the fractional value first
-		// (pushed last); best-first ordering is by bound, so push order
-		// is irrelevant there.
-		if f > 0.5 {
-			children[0], children[1] = children[1], children[0]
-		}
-		open.push(children[0])
-		open.push(children[1])
+	if nf != nil {
+		st.fixed.Store(&nf)
 	}
+}
 
-	res.Bound = rootBound
+func (st *bbState) fail(err error) {
+	st.mu.Lock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.mu.Unlock()
+	st.stop.Store(true)
+}
+
+func (st *bbState) err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.firstErr
+}
+
+// result assembles the Solution after the search ends.
+func (st *bbState) result() *Solution {
+	res := &Solution{Nodes: int(st.nodes.Load()), LPStats: st.lpStats}
+	if st.rootUnbounded {
+		res.Status = Unbounded
+		res.Obj = math.Inf(-1)
+		return res
+	}
+	best := st.best()
+	budgetHit := st.stop.Load() || st.unproven.Load()
+	res.Bound = st.rootBound
 	switch {
-	case bestX != nil && !budgetHit:
+	case st.bestX != nil && !budgetHit:
 		res.Status = Optimal
 		res.Obj = best
-		res.X = bestX
+		res.X = st.bestX
 		res.Bound = best
-	case bestX != nil:
+	case st.bestX != nil:
 		res.Status = Feasible
 		res.Obj = best
-		res.X = bestX
-		if !math.IsInf(rootBound, -1) && best != 0 {
-			res.Gap = math.Abs(best-rootBound) / math.Max(1, math.Abs(best))
+		res.X = st.bestX
+		if !math.IsInf(st.rootBound, -1) && best != 0 {
+			res.Gap = math.Abs(best-st.rootBound) / math.Max(1, math.Abs(best))
 		}
 	case budgetHit:
 		res.Status = NoSolution
@@ -315,7 +314,239 @@ func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
 		res.Status = Infeasible
 		res.Obj = math.Inf(1)
 	}
-	return res, nil
+	return res
+}
+
+// bbWorker is one search unit: a frontier of open nodes plus a private
+// warm-start LP resolver.
+type bbWorker struct {
+	st    *bbState
+	res   *lp.Resolver // nil under Options.ColdLP
+	open  *frontier
+	local int64 // nodes processed by this worker (budget amortization)
+	err   error
+}
+
+func (st *bbState) newWorker() *bbWorker {
+	w := &bbWorker{st: st, open: newFrontier(st.opts.Order)}
+	if !st.opts.ColdLP {
+		r, err := st.s.prob.NewResolver(st.lpOpts())
+		if err != nil {
+			w.err = err
+			return w
+		}
+		w.res = r
+	}
+	return w
+}
+
+func (st *bbState) lpOpts() *lp.Options {
+	o := &lp.Options{}
+	if st.opts.LP != nil {
+		o.MaxIters = st.opts.LP.MaxIters
+		o.Eps = st.opts.LP.Eps
+	}
+	return o
+}
+
+func (w *bbWorker) solveLP(bounds map[lp.ColID][2]float64) (*lp.Solution, error) {
+	if w.res != nil {
+		return w.res.Solve(bounds)
+	}
+	o := *w.st.lpOpts()
+	o.BoundOverride = bounds
+	return w.st.s.prob.Solve(&o)
+}
+
+// close folds the worker's LP statistics into the shared state.
+func (w *bbWorker) close() {
+	if w.res == nil {
+		return
+	}
+	s := w.res.Stats()
+	st := w.st
+	st.lpMu.Lock()
+	st.lpStats.Cold += s.Cold
+	st.lpStats.Warm += s.Warm
+	st.lpStats.Fallbacks += s.Fallbacks
+	st.lpStats.DualIters += s.DualIters
+	st.lpStats.PrimalIters += s.PrimalIters
+	st.lpMu.Unlock()
+}
+
+// checkBudget reports whether the search must halt. Wall-clock and context
+// polling are amortized over budgetStride nodes; node-count and shared
+// stop checks are per-call.
+func (w *bbWorker) checkBudget() bool {
+	st := w.st
+	if st.stop.Load() {
+		return true
+	}
+	if st.opts.MaxNodes > 0 && int(st.nodes.Load()) >= st.opts.MaxNodes {
+		st.stop.Store(true)
+		st.unproven.Store(true)
+		return true
+	}
+	if w.local%budgetStride == 0 {
+		if st.ctx.Err() != nil ||
+			(!st.deadline.IsZero() && time.Now().After(st.deadline)) {
+			st.stop.Store(true)
+			st.unproven.Store(true)
+			return true
+		}
+	}
+	return false
+}
+
+// run drains the worker's frontier.
+func (w *bbWorker) run() {
+	for w.err == nil && !w.open.empty() {
+		if w.checkBudget() {
+			return
+		}
+		w.expand(w.open.pop())
+	}
+}
+
+// expand solves one node's relaxation and branches.
+func (w *bbWorker) expand(nd *node) {
+	st := w.st
+	if nd.bound >= st.best()-pruneTol && !math.IsInf(nd.bound, -1) {
+		return // pruned by incumbent
+	}
+	st.nodes.Add(1)
+	w.local++
+
+	bounds := nd.bounds
+	if fp := st.fixed.Load(); fp != nil && len(*fp) > 0 {
+		bounds = cloneBounds(nd.bounds)
+		// Globally-proven fixings win: a subtree contradicting one
+		// contains no improving solution, so collapsing it is sound.
+		for c, b := range *fp {
+			bounds[c] = b
+		}
+	}
+	sol, err := w.solveLP(bounds)
+	if err != nil {
+		w.err = err
+		return
+	}
+	isRoot := !st.rootDone
+	switch sol.Status {
+	case lp.Infeasible:
+		st.rootDone = st.rootDone || isRoot
+		return
+	case lp.Unbounded:
+		if isRoot {
+			st.rootDone = true
+			st.rootUnbounded = true
+			st.stop.Store(true)
+		}
+		return // below the root: should not happen; treat as cut off
+	case lp.IterLimit:
+		// Conservative: cannot trust the bound. Drop the subtree and
+		// record that optimality can no longer be proven.
+		st.unproven.Store(true)
+		return
+	}
+	if isRoot {
+		st.rootDone = true
+		st.rootBound = sol.Obj
+		st.rootRC = append([]float64(nil), sol.ReducedCosts...)
+		st.mu.Lock()
+		st.refixLocked()
+		st.mu.Unlock()
+	}
+	if nd.branchCol >= 0 && nd.branchFrac > st.tol && !math.IsInf(nd.bound, -1) {
+		// Pseudo-cost bookkeeping: degradation per unit fraction.
+		width := nd.branchFrac
+		if nd.branchUp {
+			width = 1 - nd.branchFrac
+		}
+		if width > st.tol {
+			st.pc.observe(nd.branchCol, nd.branchUp, (sol.Obj-nd.bound)/width)
+		}
+	}
+	if sol.Obj >= st.best()-pruneTol {
+		return // bound-dominated
+	}
+
+	col := st.s.chooseBranch(st.opts.Branch, st.pc, sol.X, st.tol)
+	if col < 0 {
+		// Integer feasible.
+		x := st.s.roundIntegers(sol.X, st.tol)
+		st.offer(x, st.s.objOf(x))
+		return
+	}
+
+	// Branch on the chosen column: floor side and ceil side.
+	v := sol.X[col]
+	lo, hi := st.s.colBounds(nd, col)
+	fl := math.Floor(v + st.tol)
+	f := v - fl
+	down := cloneBounds(nd.bounds)
+	down[col] = [2]float64{lo, fl}
+	up := cloneBounds(nd.bounds)
+	up[col] = [2]float64{fl + 1, hi}
+
+	children := []*node{
+		{bounds: down, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: false, branchFrac: f},
+		{bounds: up, bound: sol.Obj, depth: nd.depth + 1, branchCol: col, branchUp: true, branchFrac: f},
+	}
+	// Depth-first explores the side nearer the fractional value first
+	// (pushed last); best-first ordering is by bound, so push order
+	// is irrelevant there.
+	if f > 0.5 {
+		children[0], children[1] = children[1], children[0]
+	}
+	w.open.push(children[0])
+	w.open.push(children[1])
+}
+
+// Solve runs branch and bound. The context may cancel the search early; a
+// Feasible (or NoSolution) result is returned in that case.
+func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := s.prob.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bbState{
+		s:         s,
+		opts:      opts,
+		tol:       opts.intTol(),
+		ctx:       ctx,
+		pc:        newPseudoCost(),
+		rootBound: math.Inf(-1),
+	}
+	if opts.TimeLimit > 0 {
+		st.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	st.bestBits.Store(math.Float64bits(math.Inf(1)))
+	if opts.Incumbent != nil {
+		if len(opts.Incumbent) != s.prob.NumCols() {
+			return nil, fmt.Errorf("milp: incumbent has %d values, problem has %d columns",
+				len(opts.Incumbent), s.prob.NumCols())
+		}
+		st.bestX = append([]float64(nil), opts.Incumbent...)
+		st.bestBits.Store(math.Float64bits(s.objOf(opts.Incumbent)))
+	}
+
+	if opts.Workers > 1 {
+		return s.solveParallel(st)
+	}
+	w := st.newWorker()
+	if w.err != nil {
+		return nil, w.err
+	}
+	w.open.push(rootNode())
+	w.run()
+	w.close()
+	if w.err != nil {
+		return nil, w.err
+	}
+	return st.result(), nil
 }
 
 // colBounds returns the effective bounds of column c at node nd.

@@ -1,0 +1,93 @@
+package milp
+
+import "sync"
+
+// prePhaseFanout sizes the sequential frontier expansion before the
+// parallel fan-out: enough subtree roots that workers stay busy even when
+// subtrees close quickly, few enough that the sequential prefix stays
+// negligible (on the paper's models whole searches can be under a hundred
+// nodes, so a large prefix would serialize most of the tree).
+const prePhaseFanout = 2
+
+// solveParallel runs the shared-incumbent worker-pool search, modeled on
+// internal/exact.SynthesizeParallel: the top of the tree is expanded
+// best-bound-first on one goroutine into independent subtree roots, which
+// workers then search with private frontiers and warm-start resolvers
+// around the shared bbState (atomic incumbent pruning, locked pseudo-cost
+// history, immutable reduced-cost fixing snapshots).
+//
+// Soundness: every open node either reaches some worker's frontier or is
+// discarded by the incumbent-bound prune (nd.bound >= best-1e-9), which
+// only ever uses proven integer-feasible objectives; the incumbent is
+// monotone under st.offer's mutex. Workers never share frontiers, so node
+// ownership is unique and every leaf is accounted for. The search is
+// exhaustive unless a budget flag fires, exactly as in the sequential
+// path, so a completed parallel run proves the same optimum.
+func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
+	workers := st.opts.Workers
+
+	// Sequential pre-phase: expand best-first so the fan-out hands workers
+	// the most promising subtrees (and so root facts — bound, reduced
+	// costs, unboundedness — are established before concurrency starts).
+	pre := st.newWorker()
+	if pre.err != nil {
+		return nil, pre.err
+	}
+	pre.open = newFrontier(BestFirst)
+	pre.open.push(rootNode())
+	target := prePhaseFanout * workers
+	for !pre.open.empty() && pre.open.size() < target {
+		if pre.checkBudget() {
+			break
+		}
+		pre.expand(pre.open.pop())
+		if pre.err != nil {
+			return nil, pre.err
+		}
+	}
+	pre.close()
+	subtrees := pre.open.drain()
+	if len(subtrees) == 0 || st.stop.Load() {
+		if len(subtrees) > 0 {
+			st.unproven.Store(true) // budget hit with work left
+		}
+		return st.result(), st.err()
+	}
+
+	// Buffered so the feeder never blocks if workers bail out early.
+	work := make(chan *node, len(subtrees))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := st.newWorker()
+			if w.err != nil {
+				st.fail(w.err)
+				return
+			}
+			defer w.close()
+			for nd := range work {
+				if st.stop.Load() {
+					st.unproven.Store(true) // unexplored subtree remains
+					return
+				}
+				w.open.push(nd)
+				w.run()
+				if w.err != nil {
+					st.fail(w.err)
+					return
+				}
+			}
+		}()
+	}
+	for _, nd := range subtrees {
+		work <- nd
+	}
+	close(work)
+	wg.Wait()
+	if err := st.err(); err != nil {
+		return nil, err
+	}
+	return st.result(), nil
+}

@@ -1,0 +1,136 @@
+package milp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sos/internal/lp"
+)
+
+// TestParallelMatchesSequential checks that the worker-pool search returns
+// bit-identical optimal objectives and statuses to the sequential search on
+// random 0/1 problems, across worker counts and search strategies. (The
+// argmin may differ on ties; the proven optimum may not.)
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		p, cols := buildRandomMIP(rng, 6+rng.Intn(8), 2+rng.Intn(4))
+		seq, err := New(p, cols).Solve(context.Background(), &Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			for _, order := range []NodeOrder{DepthFirst, BestFirst} {
+				par, err := New(p, cols).Solve(context.Background(), &Options{
+					Workers: workers, Order: order, Branch: BranchPseudoCost,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Status != seq.Status {
+					t.Fatalf("trial %d workers %d order %d: parallel %v vs sequential %v",
+						trial, workers, order, par.Status, seq.Status)
+				}
+				if seq.Status == Optimal && par.Obj != seq.Obj {
+					t.Fatalf("trial %d workers %d order %d: parallel obj %v vs sequential %v",
+						trial, workers, order, par.Obj, seq.Obj)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWarmMatchesCold checks warm-started node re-solves change
+// nothing about the result: for both sequential and parallel searches, the
+// ColdLP ablation and the default warm path prove the same optimum.
+func TestParallelWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		p, cols := buildRandomMIP(rng, 6+rng.Intn(8), 2+rng.Intn(4))
+		for _, workers := range []int{1, 3} {
+			warm, err := New(p, cols).Solve(context.Background(), &Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := New(p, cols).Solve(context.Background(), &Options{Workers: workers, ColdLP: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d workers %d: warm %v vs cold %v", trial, workers, warm.Status, cold.Status)
+			}
+			if warm.Status == Optimal && math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+				t.Fatalf("trial %d workers %d: warm obj %g vs cold %g", trial, workers, warm.Obj, cold.Obj)
+			}
+			if workers == 1 && cold.LPStats != (lp.ResolveStats{}) {
+				t.Fatalf("ColdLP recorded resolver stats: %+v", cold.LPStats)
+			}
+		}
+	}
+}
+
+// TestParallelCanceledContext checks a pre-canceled context stops the
+// parallel search before any node is explored, without deadlocking the
+// worker pool.
+func TestParallelCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p, cols := buildRandomMIP(rng, 12, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := New(p, cols).Solve(ctx, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NoSolution {
+		t.Fatalf("canceled solve: %v, want no-solution", sol.Status)
+	}
+}
+
+// TestParallelSharedIncumbent checks the shared incumbent seeds every
+// worker: with a supplied optimal incumbent, the parallel search keeps it.
+func TestParallelSharedIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 10; trial++ {
+		p, cols := buildRandomMIP(rng, 8, 3)
+		ref, err := New(p, cols).Solve(context.Background(), &Options{})
+		if err != nil || ref.Status != Optimal {
+			t.Fatalf("reference: %v %v", err, ref.Status)
+		}
+		inc := append([]float64(nil), ref.X...)
+		sol, err := New(p, cols).Solve(context.Background(), &Options{Workers: 3, Incumbent: inc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal || sol.Obj != ref.Obj {
+			t.Fatalf("trial %d: incumbent-seeded parallel solve %v obj %v, want optimal %v",
+				trial, sol.Status, sol.Obj, ref.Obj)
+		}
+	}
+}
+
+// TestPseudoCostConcurrent hammers the shared pseudo-cost history from
+// many goroutines (meaningful under -race, which tier-1 runs).
+func TestPseudoCostConcurrent(t *testing.T) {
+	pc := newPseudoCost()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				c := lp.ColID(i % 7)
+				pc.observe(c, g%2 == 0, float64(i%5))
+				pc.score(c, 0.4)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	for c := lp.ColID(0); c < 7; c++ {
+		if s := pc.score(c, 0.5); math.IsNaN(s) || s < 0 {
+			t.Fatalf("col %d: corrupted score %g", c, s)
+		}
+	}
+}
