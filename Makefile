@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf
+.PHONY: tier1 vet build test bench-smoke bench perf fuzz-smoke
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, and a one-iteration smoke of the headline benchmark.
@@ -28,3 +28,10 @@ bench:
 ## perf: machine-readable solver-throughput report (BENCH_<date>.json).
 perf:
 	$(GO) run ./cmd/sosbench -perf
+
+## fuzz-smoke: ~30s of coverage-guided fuzzing over the two parsing
+## surfaces (spec files and task-graph JSON). The corpus under testdata/
+## pins every crasher ever found; plain `go test` replays it as seeds.
+fuzz-smoke:
+	$(GO) test -run NO_TESTS -fuzz 'FuzzSpecfile$$' -fuzztime 15s ./internal/specfile
+	$(GO) test -run NO_TESTS -fuzz 'FuzzGraphValidate$$' -fuzztime 15s ./internal/taskgraph

@@ -27,14 +27,21 @@
 //	  },
 //	  "pool": [2, 2]   // optional: instances per type
 //	}
+//
+// Exit status: 0 on a proven result (or a heuristic design), 1 on any
+// error, and 1 with partial output when the budget ran out before a
+// proof — the best incumbent (or certified frontier prefix) is printed
+// with its optimality gap before exiting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"time"
 
@@ -48,39 +55,58 @@ import (
 	"sos/internal/viz"
 )
 
+// errUsage marks command-line mistakes (exit 2, after printing usage).
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sos: ")
+	if err := run(); err != nil {
+		if errors.Is(err, errUsage) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+// run is the single decision point: every failure path returns an error
+// here instead of exiting from deep inside a subcommand, so partial
+// results are always flushed before the process status is decided.
+func run() error {
 	var (
-		specPath  = flag.String("spec", "", "JSON problem specification file")
-		example   = flag.Int("example", 0, "run the paper's Example 1 or 2 instead of -spec")
-		topoName  = flag.String("topology", "p2p", "interconnect style: p2p, bus, ring, or shmem")
-		objective = flag.String("objective", "makespan", "minimize: makespan (with -cost-cap) or cost (with -deadline)")
-		costCap   = flag.Float64("cost-cap", 0, "total system cost bound (0 = uncapped)")
-		deadline  = flag.Float64("deadline", 0, "completion-time bound for -objective cost")
-		engine    = flag.String("engine", "auto", "solver: auto, milp, combinatorial, or heuristic")
-		budget    = flag.Duration("budget", 5*time.Minute, "solver time budget (0 = unlimited)")
-		frontier  = flag.Bool("frontier", false, "trace the whole non-inferior cost/performance set")
-		gantt     = flag.Bool("gantt", true, "print the schedule as a Gantt chart")
-		trace     = flag.Bool("trace", false, "print the simulated event trace")
-		slack     = flag.Bool("slack", false, "print per-subtask slack and the critical path")
-		metrics   = flag.Bool("metrics", false, "print utilization and I/O-buffer metrics")
-		memory    = flag.Bool("memory", false, "enable the local-memory cost extension")
-		noOverlap = flag.Bool("no-overlap-io", false, "enable the no-I/O-module variant")
-		writeSpec = flag.String("write-spec", "", "write a template spec to the given path and exit")
-		dumpLP    = flag.String("dump-lp", "", "write the MILP in CPLEX LP format to the given path")
-		dumpEqns  = flag.String("dump-equations", "", "write the MILP as readable algebra to the given path")
-		saveSVG   = flag.String("svg", "", "render the synthesized design as SVG to the given path")
-		saveJSON  = flag.String("save-design", "", "save the synthesized design as JSON to the given path")
+		specPath    = flag.String("spec", "", "JSON problem specification file")
+		example     = flag.Int("example", 0, "run the paper's Example 1 or 2 instead of -spec")
+		topoName    = flag.String("topology", "p2p", "interconnect style: p2p, bus, ring, or shmem")
+		objective   = flag.String("objective", "makespan", "minimize: makespan (with -cost-cap) or cost (with -deadline)")
+		costCap     = flag.Float64("cost-cap", 0, "total system cost bound (0 = uncapped)")
+		deadline    = flag.Float64("deadline", 0, "completion-time bound for -objective cost")
+		engine      = flag.String("engine", "auto", "solver: auto, milp, combinatorial, or heuristic")
+		budgetFlag  = flag.Duration("budget", 5*time.Minute, "per-solve time budget (0 = unlimited)")
+		totalBudget = flag.Duration("total-budget", 0, "one wall-clock budget for a whole -frontier sweep (0 = unlimited)")
+		anytime     = flag.Bool("anytime", false, "degrade starved -frontier points down the MILP→combinatorial→heuristic ladder instead of stopping")
+		frontier    = flag.Bool("frontier", false, "trace the whole non-inferior cost/performance set")
+		gantt       = flag.Bool("gantt", true, "print the schedule as a Gantt chart")
+		trace       = flag.Bool("trace", false, "print the simulated event trace")
+		slack       = flag.Bool("slack", false, "print per-subtask slack and the critical path")
+		metrics     = flag.Bool("metrics", false, "print utilization and I/O-buffer metrics")
+		memory      = flag.Bool("memory", false, "enable the local-memory cost extension")
+		noOverlap   = flag.Bool("no-overlap-io", false, "enable the no-I/O-module variant")
+		writeSpec   = flag.String("write-spec", "", "write a template spec to the given path and exit")
+		dumpLP      = flag.String("dump-lp", "", "write the MILP in CPLEX LP format to the given path")
+		dumpEqns    = flag.String("dump-equations", "", "write the MILP as readable algebra to the given path")
+		saveSVG     = flag.String("svg", "", "render the synthesized design as SVG to the given path")
+		saveJSON    = flag.String("save-design", "", "save the synthesized design as JSON to the given path")
 	)
 	flag.Parse()
 
 	if *writeSpec != "" {
 		if err := writeTemplate(*writeSpec); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote template spec to %s\n", *writeSpec)
-		return
+		return nil
 	}
 
 	var g *taskgraph.Graph
@@ -96,13 +122,12 @@ func main() {
 	case *specPath != "":
 		sf, err := specfile.Load(*specPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		g, lib = sf.Graph, sf.Library
 		pool = sf.Instances()
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return errUsage
 	}
 
 	spec := sos.Spec{
@@ -111,7 +136,9 @@ func main() {
 		Pool:        pool,
 		CostCap:     *costCap,
 		Deadline:    *deadline,
-		Budget:      *budget,
+		Budget:      *budgetFlag,
+		SweepBudget: *totalBudget,
+		Anytime:     *anytime,
 		Memory:      *memory,
 		NoOverlapIO: *noOverlap,
 	}
@@ -125,7 +152,7 @@ func main() {
 	case "shmem":
 		spec.Topology = sos.SharedMemory(0)
 	default:
-		log.Fatalf("unknown topology %q", *topoName)
+		return fmt.Errorf("unknown topology %q (%w)", *topoName, errUsage)
 	}
 	switch *objective {
 	case "makespan":
@@ -133,7 +160,7 @@ func main() {
 	case "cost":
 		spec.Objective = sos.MinCost
 	default:
-		log.Fatalf("unknown objective %q", *objective)
+		return fmt.Errorf("unknown objective %q (%w)", *objective, errUsage)
 	}
 	switch *engine {
 	case "auto":
@@ -145,21 +172,20 @@ func main() {
 	case "heuristic":
 		spec.Engine = sos.EngineHeuristic
 	default:
-		log.Fatalf("unknown engine %q", *engine)
+		return fmt.Errorf("unknown engine %q (%w)", *engine, errUsage)
 	}
 
 	if *dumpLP != "" || *dumpEqns != "" {
 		if err := dumpModel(spec, *dumpLP, *dumpEqns); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	ctx := context.Background()
 	if *frontier {
-		runFrontier(ctx, spec)
-		return
+		return runFrontier(ctx, spec)
 	}
-	runOnce(ctx, spec, runFlags{
+	return runOnce(ctx, spec, runFlags{
 		gantt: *gantt, trace: *trace, slack: *slack, metrics: *metrics,
 		svgPath: *saveSVG, jsonPath: *saveJSON,
 	})
@@ -206,24 +232,33 @@ func dumpModel(spec sos.Spec, lpPath, eqPath string) error {
 	return write(eqPath, m.WriteEquations)
 }
 
-func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) {
+func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) error {
 	start := time.Now()
 	res, err := sos.Synthesize(ctx, spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
-	switch {
-	case res.Infeasible:
+	switch res.Status {
+	case sos.StatusInfeasible:
 		fmt.Printf("infeasible (no system satisfies the constraints) [%v]\n", elapsed)
-		return
-	case res.Design == nil:
-		fmt.Printf("no design found within budget [%v]\n", elapsed)
-		return
+		return nil
+	case sos.StatusBudgetExhausted, sos.StatusCanceled:
+		fmt.Printf("no design found within budget (%v) [%v]\n", res.Status, elapsed)
+		return fmt.Errorf("synthesis %v before any incumbent: %w", res.Status, sos.ErrBudgetExhausted)
 	}
 	status := "optimal"
-	if !res.Optimal {
-		status = "best-found (optimality not proven)"
+	degraded := false
+	switch {
+	case res.Optimal:
+	case spec.Engine == sos.EngineHeuristic:
+		status = "heuristic (optimality unknown)"
+	case math.IsInf(res.Gap, 1):
+		status = "best-found (no bound proven)"
+		degraded = true
+	default:
+		status = fmt.Sprintf("best-found (optimality not proven, gap %.1f%%)", 100*res.Gap)
+		degraded = true
 	}
 	fmt.Printf("%s in %v (%d nodes): %s\n", status, elapsed, res.Nodes, res.Design)
 	if res.ModelStats != nil {
@@ -269,7 +304,7 @@ func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) {
 	if fl.slack {
 		rep, err := sos.Slack(d)
 		if err != nil {
-			log.Fatalf("slack analysis: %v", err)
+			return fmt.Errorf("slack analysis: %w", err)
 		}
 		fmt.Println()
 		fmt.Print(rep.String())
@@ -281,40 +316,60 @@ func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) {
 	if fl.trace {
 		t, err := sos.Simulate(d)
 		if err != nil {
-			log.Fatalf("simulation: %v", err)
+			return fmt.Errorf("simulation: %w", err)
 		}
 		fmt.Println("\nsimulated event trace:")
 		fmt.Print(t.String())
 	}
 	if fl.svgPath != "" {
 		if err := os.WriteFile(fl.svgPath, []byte(viz.SVG(d, 960)), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", fl.svgPath)
 	}
 	if fl.jsonPath != "" {
 		data, err := schedule.EncodeDesign(d)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(fl.jsonPath, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", fl.jsonPath)
 	}
+	if degraded {
+		// The incumbent above is real and validated, but the proof is not:
+		// signal scripts with a typed nonzero exit.
+		return fmt.Errorf("budget exhausted before optimality proof (gap %.3g): %w",
+			res.Gap, sos.ErrBudgetExhausted)
+	}
+	return nil
 }
 
-func runFrontier(ctx context.Context, spec sos.Spec) {
+func runFrontier(ctx context.Context, spec sos.Spec) error {
 	start := time.Now()
-	pts, err := sos.Frontier(ctx, spec)
-	if err != nil {
-		log.Fatal(err)
-	}
+	pts, sweepErr := sos.Frontier(ctx, spec)
+	// Print whatever prefix was traced before deciding the exit status:
+	// a budget-exhausted sweep still delivers its certified points.
 	fmt.Printf("non-inferior designs (%v):\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  %-8s %-12s %s\n", "cost", "performance", "system")
+	fmt.Printf("  %-8s %-12s %-26s %s\n", "cost", "performance", "quality", "system")
 	for _, p := range pts {
-		fmt.Printf("  %-8g %-12g %s\n", p.Cost, p.Perf, p.Design)
+		quality := "optimal"
+		switch {
+		case p.Status == sos.StatusFeasible && math.IsInf(p.Gap, 1):
+			quality = "best-found (no bound)"
+		case p.Status == sos.StatusFeasible:
+			quality = fmt.Sprintf("best-found (gap %.1f%%)", 100*p.Gap)
+		}
+		fmt.Printf("  %-8g %-12g %-26s %s\n", p.Cost, p.Perf, quality, p.Design)
 	}
+	if sweepErr != nil {
+		if errors.Is(sweepErr, sos.ErrBudgetExhausted) {
+			fmt.Printf("(sweep stopped early after %d points: %v)\n", len(pts), sweepErr)
+		}
+		return sweepErr
+	}
+	return nil
 }
 
 // writeTemplate emits a starter spec based on the paper's Example 1.

@@ -71,10 +71,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Every experiment returns its error here — the only exit point — so a
+	// failing run still flushes whatever tables preceded it.
 	ran := false
-	run := func(on bool, f func()) {
+	run := func(on bool, f func() error) {
 		if on || *all {
-			f()
+			if err := f(); err != nil {
+				log.Print(err)
+				os.Exit(1)
+			}
 			ran = true
 		}
 	}
@@ -91,14 +96,8 @@ func main() {
 	run(*stats, Stats)
 	run(*basel, Baseline)
 	run(*ring, RingStudy)
-	if *scaling {
-		ScalingStudy()
-		ran = true
-	}
-	if *perf {
-		Perf()
-		ran = true
-	}
+	run(*scaling, ScalingStudy)
+	run(*perf, Perf)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -144,43 +143,50 @@ func printLibrary(lib *arch.Library, g *taskgraph.Graph) {
 }
 
 // Fig1 prints the Example 1 task graph.
-func Fig1() {
+func Fig1() error {
 	fmt.Println("== Figure 1: Example 1 task graph ==")
 	g, _ := expts.Example1()
 	printGraph(g)
+	return nil
 }
 
 // Table1 prints the Example 1 processor characteristics.
-func Table1() {
+func Table1() error {
 	fmt.Println("== Table I: Example 1 processor characteristics ==")
 	g, lib := expts.Example1()
 	printLibrary(lib, g)
+	return nil
 }
 
 // Fig3 prints the Example 2 task graph.
-func Fig3() {
+func Fig3() error {
 	fmt.Println("== Figure 3: Example 2 task graph (reconstructed; see internal/expts) ==")
 	g, _ := expts.Example2()
 	printGraph(g)
+	return nil
 }
 
 // Table3 prints the Example 2 processor characteristics.
-func Table3() {
+func Table3() error {
 	fmt.Println("== Table III: Example 2 processor characteristics ==")
 	g, lib := expts.Example2()
 	printLibrary(lib, g)
+	return nil
 }
 
 // Fig2 synthesizes Example 1 at cost cap 14 and prints the system and
 // schedule of the paper's Figure 2.
-func Fig2() {
+func Fig2() error {
 	fmt.Println("== Figure 2: Example 1 Design 1 (cost cap 14) ==")
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
 	res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
 		exact.Options{Objective: exact.MinMakespan, CostCap: 14, TimeLimit: *budget})
-	if err != nil || res.Design == nil {
-		log.Fatalf("fig2: %v (design %v)", err, res)
+	if err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	if res.Design == nil {
+		return fmt.Errorf("fig2: no design within budget (%v)", res.Status)
 	}
 	d := res.Design
 	fmt.Printf("system: %s\n", d)
@@ -190,10 +196,13 @@ func Fig2() {
 	fmt.Println()
 	fmt.Print(d.Gantt(64))
 	fmt.Println()
+	return nil
 }
 
-// frontierTable runs a sweep and prints paper-vs-measured rows.
-func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, paper []expts.ParetoPoint) {
+// frontierTable runs a sweep and prints paper-vs-measured rows. A sweep
+// that stops early (budget exhausted) still prints its certified prefix
+// before the error propagates to the exit point.
+func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, paper []expts.ParetoPoint) error {
 	fmt.Printf("== %s ==\n", title)
 	opts := pareto.Options{}
 	switch *engineFlag {
@@ -205,9 +214,9 @@ func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo 
 		opts.Exact = &exact.Options{TimeLimit: *budget}
 	}
 	start := time.Now()
-	pts, err := pareto.Sweep(context.Background(), g, pool, topo, opts)
-	if err != nil {
-		fmt.Printf("(sweep stopped early: %v)\n", err)
+	pts, sweepErr := pareto.Sweep(context.Background(), g, pool, topo, opts)
+	if sweepErr != nil {
+		fmt.Printf("(sweep stopped early: %v)\n", sweepErr)
 	}
 	elapsed := time.Since(start)
 
@@ -229,20 +238,23 @@ func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo 
 	fmt.Printf("sweep: %d points in %v (%s engine)\n", len(pts), elapsed.Round(time.Millisecond), *engineFlag)
 
 	if *milpVerify {
-		milpVerifyFrontier(g, pool, topo, pts)
+		if err := milpVerifyFrontier(g, pool, topo, pts); err != nil {
+			return err
+		}
 	}
 	fmt.Println()
+	return sweepErr
 }
 
 // milpVerifyFrontier re-solves each frontier cap with the paper's MILP
 // under the time budget, warm-started with the exact design, and reports
 // agreement.
-func milpVerifyFrontier(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, pts []pareto.Point) {
+func milpVerifyFrontier(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, pts []pareto.Point) error {
 	fmt.Println("MILP verification (budgeted, warm-started):")
 	for _, p := range pts {
 		m, err := model.Build(g, pool, topo, model.Options{Objective: model.MinMakespan, CostCap: p.Cost()})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var inc []float64
 		if canon, err := schedule.Canonicalize(p.Design); err == nil {
@@ -253,7 +265,7 @@ func milpVerifyFrontier(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topo
 		start := time.Now()
 		design, sol, err := m.Solve(context.Background(), &milp.Options{TimeLimit: *budget, Incumbent: inc})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		verdict := "?"
 		switch {
@@ -269,37 +281,41 @@ func milpVerifyFrontier(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topo
 		fmt.Printf("  cap %4g: %-10s %6d nodes %8v  %s\n",
 			p.Cost(), sol.Status, sol.Nodes, time.Since(start).Round(time.Millisecond), verdict)
 	}
+	return nil
 }
 
 // Table2 traces the Example 1 frontier.
-func Table2() {
+func Table2() error {
 	g, lib := expts.Example1()
-	frontierTable("Table II: Example 1 non-inferior systems (point-to-point)",
+	return frontierTable("Table II: Example 1 non-inferior systems (point-to-point)",
 		g, expts.Example1Pool(lib), arch.PointToPoint{}, expts.Table2Full)
 }
 
 // Table4 traces the Example 2 point-to-point frontier.
-func Table4() {
+func Table4() error {
 	g, lib := expts.Example2()
-	frontierTable("Table IV: Example 2 non-inferior systems (point-to-point)",
+	return frontierTable("Table IV: Example 2 non-inferior systems (point-to-point)",
 		g, expts.Example2Pool(lib), arch.PointToPoint{}, expts.Table4)
 }
 
 // Table5 traces the Example 2 bus frontier.
-func Table5() {
+func Table5() error {
 	g, lib := expts.Example2()
-	frontierTable("Table V: Example 2 non-inferior systems (bus)",
+	return frontierTable("Table V: Example 2 non-inferior systems (bus)",
 		g, expts.Example2Pool(lib), arch.Bus{}, expts.Table5)
 }
 
 // Exp1 reruns the §4.2.1 communication-scaling study.
-func Exp1() {
+func Exp1() error {
 	fmt.Println("== §4.2.1 Experiment 1: increasing communication time ==")
 	fmt.Println("(traditional dataflow semantics; see internal/expts.Example1Strict)")
 	g, lib := expts.Example1Strict()
 	pool := expts.Example1Pool(lib)
 	for _, k := range []float64{1, 2, 6} {
-		pts := sweepExact(g.ScaleVolumes(k), pool, arch.PointToPoint{})
+		pts, err := sweepExact(g.ScaleVolumes(k), pool, arch.PointToPoint{})
+		if err != nil {
+			return err
+		}
 		fmt.Printf("volume ×%g: %d non-inferior designs in the paper's cost range:", k, len(pts))
 		for _, p := range pts {
 			fmt.Printf(" (%g,%g;%dproc)", p.Cost(), p.Perf(), len(p.Design.Procs))
@@ -308,16 +324,18 @@ func Exp1() {
 	}
 	fmt.Println("paper: ×2 leaves {2-processor, uniprocessor}; ×6 leaves {uniprocessor}")
 	fmt.Println()
+	return nil
 }
 
 // Exp2 reruns the §4.2.2 subtask-size-scaling study.
-func Exp2() {
+func Exp2() error {
 	fmt.Println("== §4.2.2 Experiment 2: increasing execution time ==")
 	g, lib := expts.Example1()
-	pool := expts.Example1Pool(lib)
 	for _, k := range []float64{1, 2, 3} {
-		pts := sweepExact(g, expts.Example1Pool(lib.ScaleExec(k)), arch.PointToPoint{})
-		_ = pool
+		pts, err := sweepExact(g, expts.Example1Pool(lib.ScaleExec(k)), arch.PointToPoint{})
+		if err != nil {
+			return err
+		}
 		fmt.Printf("size ×%g: %d non-inferior designs in the paper's cost range:", k, len(pts))
 		for _, p := range pts {
 			fmt.Printf(" (%g,%g;%v)", p.Cost(), p.Perf(), p.Design.NumProcsByType())
@@ -326,17 +344,18 @@ func Exp2() {
 	}
 	fmt.Println("paper: ×2 has 5 designs (new: p1×2+p3); ×3 has 7 (new: 4-processor and p1+p2)")
 	fmt.Println()
+	return nil
 }
 
 // sweepExact runs a combinatorial sweep filtered to the paper's cost
 // range (>= 5).
-func sweepExact(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology) []pareto.Point {
+func sweepExact(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology) ([]pareto.Point, error) {
 	pts, err := pareto.Sweep(context.Background(), g, pool, topo, pareto.Options{
 		Engine: pareto.EngineCombinatorial,
 		Exact:  &exact.Options{TimeLimit: *budget},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	var out []pareto.Point
 	for _, p := range pts {
@@ -344,11 +363,11 @@ func sweepExact(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology) []
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Stats prints MILP model sizes next to the paper's reported counts.
-func Stats() {
+func Stats() error {
 	fmt.Println("== MILP model sizes (ours vs paper §4.1/§4.3) ==")
 	type row struct {
 		name  string
@@ -367,7 +386,7 @@ func Stats() {
 	for _, r := range rows {
 		m, err := model.Build(r.g, r.pool, r.topo, model.Options{Objective: model.MinMakespan, CostCap: 100})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("%-14s ours: %s\n", r.name, m.Stats)
 		fmt.Printf("%-14s paper: %s\n", "", r.paper)
@@ -375,13 +394,14 @@ func Stats() {
 	fmt.Println("(counting conventions differ: we keep T_OA explicit, add the δ exactness cut,")
 	fmt.Println(" β upper bounds and symmetry rows, and our instance pools are 2 per type)")
 	fmt.Println()
+	return nil
 }
 
 // Baseline compares the heuristic synthesizers — greedy+ETF enumeration
 // and simulated annealing — against the exact optimum at each paper cap.
-func Baseline() {
+func Baseline() error {
 	fmt.Println("== Heuristic synthesizers vs exact optimum ==")
-	run := func(name string, g *taskgraph.Graph, lib *arch.Library, pool *arch.Instances, topo arch.Topology, caps []expts.ParetoPoint) {
+	run := func(name string, g *taskgraph.Graph, lib *arch.Library, pool *arch.Instances, topo arch.Topology, caps []expts.ParetoPoint) error {
 		fmt.Printf("%s:\n", name)
 		maxCounts := make([]int, lib.NumTypes())
 		for _, p := range pool.Procs() {
@@ -399,33 +419,48 @@ func Baseline() {
 			}
 			res, err := exact.Synthesize(context.Background(), g, pool, topo,
 				exact.Options{Objective: exact.MinMakespan, CostCap: pt.Cost, TimeLimit: *budget})
-			if err != nil || res.Design == nil {
-				log.Fatalf("baseline: %v", err)
+			if err != nil {
+				return fmt.Errorf("baseline: %w", err)
+			}
+			if res.Design == nil {
+				return fmt.Errorf("baseline: no design within budget at cap %g (%v)", pt.Cost, res.Status)
 			}
 			fmt.Printf("  cap %4g: greedy/ETF %6g  anneal %6g  optimal %6g  (greedy overhead %+.0f%%)\n",
 				pt.Cost, hPerf, aPerf, res.Design.Makespan,
 				100*(hPerf-res.Design.Makespan)/res.Design.Makespan)
 		}
+		return nil
 	}
 	g1, lib1 := expts.Example1()
-	run("Example 1 (p2p)", g1, lib1, expts.Example1Pool(lib1), arch.PointToPoint{}, expts.Table2)
+	if err := run("Example 1 (p2p)", g1, lib1, expts.Example1Pool(lib1), arch.PointToPoint{}, expts.Table2); err != nil {
+		return err
+	}
 	g2, lib2 := expts.Example2()
-	run("Example 2 (p2p)", g2, lib2, expts.Example2Pool(lib2), arch.PointToPoint{}, expts.Table4)
+	if err := run("Example 2 (p2p)", g2, lib2, expts.Example2Pool(lib2), arch.PointToPoint{}, expts.Table4); err != nil {
+		return err
+	}
 	fmt.Println()
+	return nil
 }
 
 // RingStudy traces the §5 ring-extension frontier on both examples.
-func RingStudy() {
+func RingStudy() error {
 	fmt.Println("== §5 extension: ring interconnect frontier ==")
 	g1, lib1 := expts.Example1()
-	pts := ringSweep(g1, expts.Example1Pool(lib1))
+	pts, err := ringSweep(g1, expts.Example1Pool(lib1))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Example 1 ring frontier:")
 	for _, p := range pts {
 		fmt.Printf(" (%g,%g)", p.Cost(), p.Perf())
 	}
 	fmt.Println()
 	g2, lib2 := expts.Example2()
-	pts = ringSweep(g2, expts.Example2Pool(lib2))
+	pts, err = ringSweep(g2, expts.Example2Pool(lib2))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("Example 2 ring frontier:")
 	for _, p := range pts {
 		fmt.Printf(" (%g,%g)", p.Cost(), p.Perf())
@@ -433,20 +468,21 @@ func RingStudy() {
 	fmt.Println()
 	fmt.Println("(ring delays are hop-count multiples of D_CR; segments cost C_L each)")
 	fmt.Println()
+	return nil
 }
 
 // ScalingStudy is a beyond-paper experiment: how synthesis time grows with
 // problem size for the combinatorial engine (serial and parallel) and the
 // heuristic, on random graphs with random 3-type libraries. The paper
 // could only speculate about scaling; this measures it.
-func ScalingStudy() {
+func ScalingStudy() error {
 	fmt.Println("== Beyond-paper: synthesis time vs problem size (uncapped min-makespan) ==")
 	fmt.Printf("%-10s %-8s %-14s %-14s %-14s\n", "subtasks", "arcs", "exact-serial", "exact-par(4)", "heuristic")
 	rng := rand.New(rand.NewSource(12345))
 	for _, n := range []int{4, 6, 8, 10, 12} {
 		g := taskgraph.Random(rng, taskgraph.RandomSpec{Subtasks: n, ArcProb: 0.3, MaxVol: 3})
 		if err := g.Freeze(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		lib := arch.RandomLibrary(rng, g, 3)
 		pool := arch.AutoPool(lib, g, 2)
@@ -455,7 +491,7 @@ func ScalingStudy() {
 		res, err := exact.Synthesize(context.Background(), g, pool, arch.PointToPoint{},
 			exact.Options{Objective: exact.MinMakespan, TimeLimit: *budget})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		serial := time.Since(t0)
 
@@ -463,16 +499,16 @@ func ScalingStudy() {
 		par, err := exact.SynthesizeParallel(context.Background(), g, pool, arch.PointToPoint{},
 			exact.Options{Objective: exact.MinMakespan, TimeLimit: *budget}, 4)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		parallel := time.Since(t0)
 		if res.Design != nil && par.Design != nil && math.Abs(res.Design.Makespan-par.Design.Makespan) > 1e-9 {
-			log.Fatalf("scaling: serial %g vs parallel %g", res.Design.Makespan, par.Design.Makespan)
+			return fmt.Errorf("scaling: serial %g vs parallel %g", res.Design.Makespan, par.Design.Makespan)
 		}
 
 		t0 = time.Now()
 		if _, err := heur.Synthesize(g, lib, arch.PointToPoint{}, heur.SynthOptions{MaxPerType: 2}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		heurT := time.Since(t0)
 
@@ -485,15 +521,12 @@ func ScalingStudy() {
 			heurT.Round(time.Microsecond), status)
 	}
 	fmt.Println()
+	return nil
 }
 
-func ringSweep(g *taskgraph.Graph, pool *arch.Instances) []pareto.Point {
-	pts, err := pareto.Sweep(context.Background(), g, pool, arch.Ring{}, pareto.Options{
+func ringSweep(g *taskgraph.Graph, pool *arch.Instances) ([]pareto.Point, error) {
+	return pareto.Sweep(context.Background(), g, pool, arch.Ring{}, pareto.Options{
 		Engine: pareto.EngineCombinatorial,
 		Exact:  &exact.Options{TimeLimit: *budget},
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return pts
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"runtime"
@@ -41,7 +40,7 @@ type perfReport struct {
 // re-solve costs, then writes BENCH_<date>.json next to the working
 // directory. Configurations mirror bench_test.go so the two stay
 // comparable.
-func Perf() {
+func Perf() error {
 	fmt.Println("== Performance report ==")
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
@@ -52,6 +51,10 @@ func Perf() {
 		NumCPU:    runtime.NumCPU(),
 	}
 
+	// Benchmark closures cannot return errors (and b.Fatalf segfaults
+	// outside a test binary, which has no logger) — capture the first
+	// failure here and bail out once testing.Benchmark hands control back.
+	var benchErr error
 	sweep := func(opts milp.Options) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
@@ -61,10 +64,11 @@ func Perf() {
 				pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
 					Engine: pareto.EngineMILP, MILP: &o,
 				})
-				// log.Fatalf, not b.Fatalf: outside a test binary the
-				// benchmark harness has no logger and b.Fatalf segfaults.
 				if err != nil || len(pts) == 0 {
-					log.Fatalf("perf sweep failed (budget too small?): %v (%d points)", err, len(pts))
+					if benchErr == nil {
+						benchErr = fmt.Errorf("perf sweep failed (budget too small?): %v (%d points)", err, len(pts))
+					}
+					return
 				}
 			}
 		}
@@ -98,11 +102,14 @@ func Perf() {
 		Branch: milp.BranchPseudoCost, Order: milp.BestFirst,
 	})))
 	add("table2-sweep-cold-dfs", 0, testing.Benchmark(sweep(milp.Options{ColdLP: true})))
+	if benchErr != nil {
+		return benchErr
+	}
 
 	// Single hardest sweep point, tracking nodes explored.
 	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 14})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var nodes int
 	solve := func(opts milp.Options) func(b *testing.B) {
@@ -114,7 +121,10 @@ func Perf() {
 				o.TimeLimit = *budget
 				design, sol, err := m.Solve(context.Background(), &o)
 				if err != nil || sol.Status != milp.Optimal || math.Abs(design.Makespan-2.5) > 1e-6 {
-					log.Fatalf("perf cap-14 solve failed (budget too small?): err=%v status=%v", err, sol.Status)
+					if benchErr == nil {
+						benchErr = fmt.Errorf("perf cap-14 solve failed (budget too small?): err=%v status=%v", err, sol.Status)
+					}
+					return
 				}
 				nodes = sol.Nodes
 			}
@@ -124,19 +134,24 @@ func Perf() {
 	add("cap14-solve-warm-bestfirst", nodes, r)
 	r = testing.Benchmark(solve(milp.Options{ColdLP: true}))
 	add("cap14-solve-cold-dfs", nodes, r)
+	if benchErr != nil {
+		return benchErr
+	}
 
 	out := fmt.Sprintf("BENCH_%s.json", report.Date)
 	f, err := os.Create(out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		log.Fatal(err)
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("wrote %s\n\n", out)
+	return nil
 }

@@ -1,0 +1,210 @@
+// Package budget is the home of the solver stack's anytime contract: the
+// shared Status taxonomy every engine reports, the typed sentinel error all
+// budget/cancel exits wrap, the wall-clock Governor that apportions one
+// total budget across the points of a frontier sweep, and the degradation
+// Ladder (MILP → combinatorial → heuristic) a governed sweep walks when a
+// point cannot be closed exactly within its slice.
+//
+// The package deliberately depends on nothing but the standard library so
+// that internal/exact, internal/pareto, and the sos facade can all share
+// one taxonomy without import cycles.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Status classifies the outcome of an anytime solve. Every engine maps its
+// exit onto this taxonomy so callers can treat budget exhaustion as a
+// quality level instead of a failure.
+type Status int
+
+// Statuses, from best to worst certificate.
+const (
+	// StatusOptimal: the solution is proven optimal.
+	StatusOptimal Status = iota
+	// StatusFeasible: an incumbent was found but the budget (time, nodes,
+	// or cancellation) fired before optimality was proven; Gap quantifies
+	// the remaining uncertainty.
+	StatusFeasible
+	// StatusBudgetExhausted: the budget fired before any incumbent was
+	// found. Nothing is known beyond the lower bound.
+	StatusBudgetExhausted
+	// StatusInfeasible: proven that no solution exists.
+	StatusInfeasible
+	// StatusCanceled: the context was canceled before any incumbent was
+	// found. (A cancellation after an incumbent reports StatusFeasible;
+	// the wrapped error carries the cause.)
+	StatusCanceled
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusBudgetExhausted:
+		return "budget-exhausted"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// Proven reports whether the status carries a complete certificate
+// (optimality or infeasibility).
+func (s Status) Proven() bool { return s == StatusOptimal || s == StatusInfeasible }
+
+// ErrExhausted is the sentinel wrapped by every budget- or cancellation-
+// driven early exit; check with errors.Is. When the exit was caused by
+// context cancellation the returned errors additionally wrap ctx.Err(), so
+// errors.Is(err, context.Canceled) also holds.
+var ErrExhausted = errors.New("budget exhausted")
+
+// Exhausted builds the typed error for a budget/cancel exit. The result
+// wraps ErrExhausted and, when ctx is non-nil and done, ctx.Err() as well.
+func Exhausted(ctx context.Context, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if ctx != nil && ctx.Err() != nil {
+		return fmt.Errorf("%s: %w: %w", msg, ErrExhausted, ctx.Err())
+	}
+	return fmt.Errorf("%s: %w", msg, ErrExhausted)
+}
+
+// Governor apportions one wall-clock budget across the points of a sweep.
+// Each Slice is a fixed fraction of the time remaining until the
+// governor's deadline, so consecutive slices decay exponentially when fully
+// used, while any time a point leaves unused automatically rolls over to
+// every later point (the remainder is recomputed from the wall clock, not
+// from a ledger). A floor keeps late slices from collapsing to zero; once
+// the deadline passes, Slice keeps returning the floor so a degradation
+// ladder can still run its terminal (cheap) rungs.
+//
+// The zero value and a nil *Governor are both valid and mean "unlimited":
+// Slice returns 0 (no limit) and Exhausted is always false.
+type Governor struct {
+	deadline time.Time
+	frac     float64       // fraction of remaining time per slice
+	floor    time.Duration // minimum slice
+	now      func() time.Time
+}
+
+// Default apportioning policy. Half the remaining budget per point means a
+// sweep of n points spends ~(1-2⁻ⁿ) of the budget and the first, hardest
+// points (highest caps, largest search spaces) get the largest slices —
+// matching how frontier difficulty actually falls as the cap tightens.
+const (
+	defaultFrac  = 0.5
+	defaultFloor = 5 * time.Millisecond
+)
+
+// New creates a governor over one total wall-clock budget. total <= 0
+// yields an unlimited governor (every Slice is 0 = no limit).
+func New(total time.Duration) *Governor {
+	g := &Governor{frac: defaultFrac, floor: defaultFloor, now: time.Now}
+	if total > 0 {
+		g.deadline = g.now().Add(total)
+	}
+	return g
+}
+
+// Remaining reports the time left before the governor's deadline (0 when
+// exhausted; a large positive constant when unlimited).
+func (g *Governor) Remaining() time.Duration {
+	if g == nil || g.deadline.IsZero() {
+		return time.Duration(1<<63 - 1)
+	}
+	rem := g.deadline.Sub(g.now())
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Exhausted reports whether the total budget has been consumed.
+func (g *Governor) Exhausted() bool {
+	return g != nil && !g.deadline.IsZero() && !g.now().Before(g.deadline)
+}
+
+// Slice returns the wall-clock allowance for the next solve: a decaying
+// fraction of the remaining budget, never below the floor. 0 means
+// unlimited (no governor deadline).
+func (g *Governor) Slice() time.Duration {
+	if g == nil || g.deadline.IsZero() {
+		return 0
+	}
+	s := time.Duration(float64(g.deadline.Sub(g.now())) * g.frac)
+	if s < g.floor {
+		s = g.floor
+	}
+	return s
+}
+
+// Limit combines a caller-specified per-solve budget with the governor's
+// slice: the tighter of the two wins, and 0 on both sides means unlimited.
+func (g *Governor) Limit(perSolve time.Duration) time.Duration {
+	s := g.Slice()
+	switch {
+	case s <= 0:
+		return perSolve
+	case perSolve <= 0 || s < perSolve:
+		return s
+	default:
+		return perSolve
+	}
+}
+
+// Rung names one level of the degradation ladder.
+type Rung int
+
+// Rungs, from most exact to cheapest.
+const (
+	// RungMILP is the paper's mixed integer-linear programming formulation
+	// solved by LP-based branch and bound.
+	RungMILP Rung = iota
+	// RungCombinatorial is the mapping-enumeration + disjunctive-scheduling
+	// branch and bound.
+	RungCombinatorial
+	// RungHeuristic is the greedy configuration-enumerating synthesizer
+	// with ETF scheduling: fast, always terminates, proves nothing.
+	RungHeuristic
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungMILP:
+		return "milp"
+	case RungCombinatorial:
+		return "combinatorial"
+	case RungHeuristic:
+		return "heuristic"
+	}
+	return "unknown"
+}
+
+// Ladder is an ordered sequence of degradation rungs. A governed sweep
+// tries each rung in turn until one proves its point optimal (or
+// infeasible); when every rung exhausts its slice, the best incumbent any
+// rung produced is kept, annotated with its gap.
+type Ladder []Rung
+
+// DefaultLadder returns the standard degradation ladder starting from the
+// given exact engine: MILP degrades through the (much faster) combinatorial
+// engine to the heuristic; the combinatorial engine degrades straight to
+// the heuristic.
+func DefaultLadder(first Rung) Ladder {
+	switch first {
+	case RungMILP:
+		return Ladder{RungMILP, RungCombinatorial, RungHeuristic}
+	case RungHeuristic:
+		return Ladder{RungHeuristic}
+	default:
+		return Ladder{RungCombinatorial, RungHeuristic}
+	}
+}

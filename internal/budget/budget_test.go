@@ -1,0 +1,152 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making slice arithmetic exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                { return c.t }
+func (c *fakeClock) advance(d time.Duration)       { c.t = c.t.Add(d) }
+func newGoverned(total time.Duration) (*Governor, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	g := &Governor{frac: defaultFrac, floor: defaultFloor, now: c.now}
+	g.deadline = c.t.Add(total)
+	return g, c
+}
+
+func TestGovernorSlicesDecayAndRollOver(t *testing.T) {
+	g, clock := newGoverned(8 * time.Second)
+	if got := g.Slice(); got != 4*time.Second {
+		t.Fatalf("first slice %v, want 4s", got)
+	}
+	// Fully consuming the slice halves the next one: exponential decay.
+	clock.advance(4 * time.Second)
+	if got := g.Slice(); got != 2*time.Second {
+		t.Fatalf("second slice %v, want 2s", got)
+	}
+	// Consuming only a little rolls the unused time over: the next slice
+	// is larger than strict decay would allow.
+	clock.advance(200 * time.Millisecond)
+	if got := g.Slice(); got != 1900*time.Millisecond {
+		t.Fatalf("rollover slice %v, want 1.9s", got)
+	}
+}
+
+func TestGovernorFloorAndExhaustion(t *testing.T) {
+	g, clock := newGoverned(time.Second)
+	clock.advance(2 * time.Second)
+	if !g.Exhausted() {
+		t.Fatal("governor past its deadline not exhausted")
+	}
+	if got := g.Remaining(); got != 0 {
+		t.Fatalf("remaining %v past deadline, want 0", got)
+	}
+	// Past the deadline the slice floors instead of going nonpositive, so
+	// a ladder's terminal rungs still get a (tiny) allowance.
+	if got := g.Slice(); got != defaultFloor {
+		t.Fatalf("exhausted slice %v, want floor %v", got, defaultFloor)
+	}
+}
+
+func TestGovernorUnlimited(t *testing.T) {
+	for _, g := range []*Governor{nil, New(0), {}} {
+		if g.Exhausted() {
+			t.Fatal("unlimited governor exhausted")
+		}
+		if got := g.Slice(); got != 0 {
+			t.Fatalf("unlimited slice %v, want 0", got)
+		}
+		if got := g.Limit(3 * time.Second); got != 3*time.Second {
+			t.Fatalf("unlimited Limit %v, want the per-solve budget", got)
+		}
+	}
+}
+
+func TestGovernorLimit(t *testing.T) {
+	g, _ := newGoverned(8 * time.Second) // slice = 4s
+	if got := g.Limit(0); got != 4*time.Second {
+		t.Fatalf("Limit(0) %v, want the slice", got)
+	}
+	if got := g.Limit(time.Second); got != time.Second {
+		t.Fatalf("Limit(1s) %v, want the tighter per-solve budget", got)
+	}
+	if got := g.Limit(time.Minute); got != 4*time.Second {
+		t.Fatalf("Limit(1m) %v, want the tighter slice", got)
+	}
+}
+
+func TestExhaustedWrapsSentinelAndContext(t *testing.T) {
+	err := Exhausted(context.Background(), "point %d", 3)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("plain exhaustion does not wrap ErrExhausted: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("plain exhaustion claims cancellation: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = Exhausted(ctx, "mid-sweep")
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled exhaustion must wrap both sentinels: %v", err)
+	}
+	if err := Exhausted(nil, "no context"); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("nil-context exhaustion: %v", err)
+	}
+}
+
+func TestStatusTaxonomy(t *testing.T) {
+	want := map[Status]string{
+		StatusOptimal:         "optimal",
+		StatusFeasible:        "feasible",
+		StatusBudgetExhausted: "budget-exhausted",
+		StatusInfeasible:      "infeasible",
+		StatusCanceled:        "canceled",
+		Status(99):            "unknown",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), s.String(), str)
+		}
+	}
+	for _, s := range []Status{StatusOptimal, StatusInfeasible} {
+		if !s.Proven() {
+			t.Errorf("%v must be proven", s)
+		}
+	}
+	for _, s := range []Status{StatusFeasible, StatusBudgetExhausted, StatusCanceled} {
+		if s.Proven() {
+			t.Errorf("%v must not be proven", s)
+		}
+	}
+}
+
+func TestDefaultLadder(t *testing.T) {
+	cases := []struct {
+		first Rung
+		want  []Rung
+	}{
+		{RungMILP, []Rung{RungMILP, RungCombinatorial, RungHeuristic}},
+		{RungCombinatorial, []Rung{RungCombinatorial, RungHeuristic}},
+		{RungHeuristic, []Rung{RungHeuristic}},
+	}
+	for _, c := range cases {
+		got := DefaultLadder(c.first)
+		if len(got) != len(c.want) {
+			t.Fatalf("ladder from %v: %v", c.first, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ladder from %v: %v, want %v", c.first, got, c.want)
+			}
+		}
+	}
+	if RungMILP.String() != "milp" || RungCombinatorial.String() != "combinatorial" ||
+		RungHeuristic.String() != "heuristic" || Rung(9).String() != "unknown" {
+		t.Error("rung names wrong")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sos/internal/arch"
+	"sos/internal/budget"
 	"sos/internal/schedule"
 	"sos/internal/taskgraph"
 )
@@ -58,6 +59,11 @@ type Options struct {
 	// NoOverlapIO enables the §5 variant without I/O modules: a remote
 	// transfer occupies both endpoint processors in addition to its links.
 	NoOverlapIO bool
+
+	// testHook, when non-nil, is called once per outer mapping node with
+	// the node count so far; it may panic to simulate a worker crash.
+	// Settable only from in-package fault-injection tests.
+	testHook func(nodes int)
 }
 
 // Result is the outcome of a synthesis search.
@@ -66,6 +72,11 @@ type Result struct {
 	Optimal bool             // true when the search space was exhausted
 	Nodes   int              // outer mapping nodes explored
 	Sched   int              // inner scheduling B&B nodes explored
+
+	// Anytime certificate.
+	Status budget.Status
+	Bound  float64 // proven lower bound on the objective (root LB, or the optimum)
+	Gap    float64 // |obj-Bound| relative gap; 0 when proven optimal
 }
 
 // Synthesize runs the exact search.
@@ -88,11 +99,82 @@ func Synthesize(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, t
 		s.deadline = time.Now().Add(opts.TimeLimit)
 	}
 	s.ctx = ctx
+	rootLB := s.rootBound()
 
-	s.dfs(0)
+	if err := s.runDFS(0); err != nil {
+		return nil, err
+	}
 
-	res := &Result{Design: s.best, Optimal: !s.budgetHit, Nodes: s.nodes, Sched: s.schedNodes}
+	objVal := 0.0
+	if s.best != nil {
+		if opts.Objective == MinMakespan {
+			objVal = s.best.Makespan
+		} else {
+			objVal = s.localCost
+		}
+	}
+	res := finishResult(ctx, s.best, objVal, !s.budgetHit, rootLB, s.nodes, s.schedNodes)
 	return res, nil
+}
+
+// runDFS runs the mapping DFS from index start, converting a panic anywhere
+// in the search (scheduler included) into an error instead of killing the
+// caller.
+func (s *search) runDFS(start int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exact: search panic: %v", r)
+		}
+	}()
+	s.dfs(start)
+	return nil
+}
+
+// rootBound computes the objective lower bound of the empty mapping, valid
+// for every design the search could return: for MinMakespan the
+// communication-free critical path over best-case durations (plus
+// per-processor load, vacuous here); for MinCost the cheapest capable
+// instance of the priciest subtask — some instance must host it, and one
+// instance may host everything, so the max over subtasks is sound.
+func (s *search) rootBound() float64 {
+	if s.opts.Objective == MinMakespan {
+		return s.makespanLB()
+	}
+	lb := 0.0
+	for _, t := range s.g.Subtasks() {
+		best := math.Inf(1)
+		for _, d := range s.pool.Capable(t.ID) {
+			if c := s.pool.Cost(d); c < best {
+				best = c
+			}
+		}
+		if !math.IsInf(best, 1) && best > lb {
+			lb = best
+		}
+	}
+	return lb
+}
+
+// finishResult assembles the anytime certificate shared by the sequential
+// and parallel searches. exhausted means the whole space was searched;
+// objVal is the incumbent's objective value (makespan or cost).
+func finishResult(ctx context.Context, d *schedule.Design, objVal float64, exhausted bool, rootLB float64, nodes, sched int) *Result {
+	res := &Result{Design: d, Optimal: exhausted, Nodes: nodes, Sched: sched, Bound: rootLB}
+	switch {
+	case exhausted && d != nil:
+		res.Status = budget.StatusOptimal
+		res.Bound = objVal
+	case exhausted:
+		res.Status = budget.StatusInfeasible
+	case d != nil:
+		res.Status = budget.StatusFeasible
+		res.Gap = math.Abs(objVal-rootLB) / math.Max(1, math.Abs(objVal))
+	case ctx != nil && ctx.Err() != nil:
+		res.Status = budget.StatusCanceled
+	default:
+		res.Status = budget.StatusBudgetExhausted
+	}
+	return res
 }
 
 var errMinCostNeedsDeadline = fmt.Errorf("exact: MinCost requires a positive Deadline")
@@ -252,6 +334,9 @@ func (s *search) dfs(idx int) {
 		return
 	}
 	s.nodes++
+	if s.opts.testHook != nil {
+		s.opts.testHook(s.nodes)
+	}
 	if s.opts.Objective == MinMakespan {
 		if s.makespanLB() >= s.bestPerf()-1e-9 {
 			return

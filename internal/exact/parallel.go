@@ -2,6 +2,7 @@ package exact
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -83,6 +84,7 @@ func SynthesizeParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Inst
 
 	// Expand prefixes breadth-first until there are enough work units.
 	base := newSearch(g, pool, topo, opts, order)
+	rootLB := base.rootBound()
 	type prefix []arch.ProcID
 	prefixes := []prefix{{}}
 	targetUnits := 8 * workers
@@ -116,27 +118,52 @@ func SynthesizeParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Inst
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
 
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+
 	work := make(chan prefix)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each prefix is searched inside its own recover scope so a
+			// panicking subtree turns into a recorded error while the
+			// worker keeps draining the unbuffered work channel — if it
+			// died instead, the feeder could block forever on a send.
 			for pf := range work {
-				s := newSearch(g, pool, topo, opts, order)
-				s.ctx = ctx
-				s.deadline = deadline
-				s.shared = si
-				s.sharedStop = &stop
-				for i, d := range pf {
-					s.mapping[order[i]] = d
+				if stop.Load() {
+					continue
 				}
-				s.dfs(len(pf))
-				nodes.Add(int64(s.nodes))
-				sched.Add(int64(s.schedNodes))
-				if s.budgetHit {
-					stop.Store(true)
-				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fail(fmt.Errorf("exact: worker panic: %v", r))
+						}
+					}()
+					s := newSearch(g, pool, topo, opts, order)
+					s.ctx = ctx
+					s.deadline = deadline
+					s.shared = si
+					s.sharedStop = &stop
+					for i, d := range pf {
+						s.mapping[order[i]] = d
+					}
+					s.dfs(len(pf))
+					nodes.Add(int64(s.nodes))
+					sched.Add(int64(s.schedNodes))
+					if s.budgetHit {
+						stop.Store(true)
+					}
+				}()
 			}
 		}()
 	}
@@ -148,11 +175,18 @@ func SynthesizeParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Inst
 	}
 	close(work)
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
-	return &Result{
-		Design:  si.design,
-		Optimal: !stop.Load(),
-		Nodes:   int(nodes.Load()),
-		Sched:   int(sched.Load()),
-	}, nil
+	objVal := 0.0
+	if si.design != nil {
+		if opts.Objective == MinMakespan {
+			objVal = si.design.Makespan
+		} else {
+			objVal = si.cost()
+		}
+	}
+	return finishResult(ctx, si.design, objVal, !stop.Load(),
+		rootLB, int(nodes.Load()), int(sched.Load())), nil
 }

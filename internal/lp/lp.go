@@ -203,6 +203,27 @@ type Solution struct {
 	ReducedCosts []float64
 }
 
+// Hooks are failpoint injection points for fault testing. All fields are
+// consulted only when non-zero, so the nil/zero value (production) costs a
+// single pointer check per solve. Hooks let tests force the degraded solver
+// paths — warm-start rejection, iteration-cap exits, crashes mid-pivot —
+// without build tags or clock games.
+type Hooks struct {
+	// RejectWarm, when non-nil and returning true, makes Resolver.Solve
+	// abandon the warm path for that call and rebuild cold.
+	RejectWarm func() bool
+
+	// OnPivot is called at the top of every simplex iteration (both primal
+	// phases and the dual repair) with the running iteration count. It may
+	// panic to simulate a solver crash mid-pivot, or block/cancel to
+	// simulate a stall.
+	OnPivot func(iters int)
+
+	// ForceIterLimit, when > 0, caps every solve's iteration budget at the
+	// given value, forcing IterLimit exits regardless of MaxIters.
+	ForceIterLimit int
+}
+
 // Options tunes the solver. The zero value gives sensible defaults.
 type Options struct {
 	MaxIters int     // per solve; default 20000 + 50*(rows+cols)
@@ -212,13 +233,26 @@ type Options struct {
 	// for this solve only (used by branch-and-bound to branch without
 	// copying the problem).
 	BoundOverride map[ColID][2]float64
+
+	// Hooks injects failpoints for fault testing; nil in production.
+	Hooks *Hooks
 }
 
 func (o *Options) maxIters(p *Problem) int {
+	if o != nil && o.Hooks != nil && o.Hooks.ForceIterLimit > 0 {
+		return o.Hooks.ForceIterLimit
+	}
 	if o != nil && o.MaxIters > 0 {
 		return o.MaxIters
 	}
 	return 20000 + 50*(len(p.rows)+len(p.cols))
+}
+
+func (o *Options) hooks() *Hooks {
+	if o == nil {
+		return nil
+	}
+	return o.Hooks
 }
 
 func (o *Options) eps() float64 {

@@ -108,6 +108,10 @@ func (r *Resolver) Stats() ResolveStats { return r.stats }
 // revert to the problem's). The returned Solution and its slices are
 // reused by the next Solve call; callers must copy anything they retain.
 func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
+	if h := r.opts.Hooks; h != nil && h.RejectWarm != nil && h.RejectWarm() {
+		r.stats.Fallbacks++
+		return r.cold(bounds), nil
+	}
 	if r.s == nil || !r.reusable || r.warmRuns >= refactorEvery {
 		return r.cold(bounds), nil
 	}
@@ -251,7 +255,13 @@ func (r *Resolver) dualRepair() (Status, bool) {
 	// abandoned repairs stop wasting thousands of dense pivots before
 	// their inevitable cold fallback).
 	maxRepair := s.m/4 + 30
+	if s.max < maxRepair {
+		maxRepair = s.max // ForceIterLimit failpoint caps the repair too
+	}
 	for {
+		if h := s.hooks; h != nil && h.OnPivot != nil {
+			h.OnPivot(s.iters)
+		}
 		if s.iters >= maxRepair {
 			return IterLimit, false
 		}

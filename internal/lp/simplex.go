@@ -18,9 +18,10 @@ const (
 // order, [nStruct, nStruct+nSlack) slacks (one per inequality row),
 // [nStruct+nSlack, nTot) artificials (one per row that needs one).
 type simplex struct {
-	p   *Problem
-	eps float64
-	max int
+	p     *Problem
+	eps   float64
+	max   int
+	hooks *Hooks
 
 	m       int // rows
 	nStruct int
@@ -45,7 +46,7 @@ type simplex struct {
 }
 
 func newSimplex(p *Problem, opts *Options) *simplex {
-	s := &simplex{p: p, eps: opts.eps(), max: opts.maxIters(p)}
+	s := &simplex{p: p, eps: opts.eps(), max: opts.maxIters(p), hooks: opts.hooks()}
 	s.build(opts)
 	return s
 }
@@ -311,6 +312,9 @@ func (s *simplex) retireArtificials() {
 // iterate runs primal simplex iterations for the current phase.
 func (s *simplex) iterate(phase1 bool) Status {
 	for {
+		if h := s.hooks; h != nil && h.OnPivot != nil {
+			h.OnPivot(s.iters)
+		}
 		if s.iters >= s.max {
 			return IterLimit
 		}

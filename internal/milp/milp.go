@@ -80,6 +80,19 @@ type Solution struct {
 	LPStats lp.ResolveStats
 }
 
+// Hooks are failpoint injection points for fault testing; nil in
+// production. They let tests crash a worker mid-search, cancel between
+// nodes, or force degraded LP exits without reaching into solver internals.
+type Hooks struct {
+	// OnNode is called once per branch-and-bound node, right after the node
+	// is counted, with the global node count so far. It may panic to
+	// simulate a worker crash; the solve converts the panic to an error.
+	OnNode func(nodes int)
+
+	// LP injects failpoints into every node relaxation solve.
+	LP *lp.Hooks
+}
+
 // Options tunes the search. The zero value gives exact defaults.
 type Options struct {
 	// MaxNodes caps explored nodes (0 = unlimited).
@@ -112,6 +125,8 @@ type Options struct {
 	// tableau from scratch at every node (the pre-resolver behaviour).
 	// Ablation/debugging only.
 	ColdLP bool
+	// Hooks injects failpoints for fault testing; nil in production.
+	Hooks *Hooks
 }
 
 func (o *Options) intTol() float64 {
@@ -268,6 +283,16 @@ func (st *bbState) refixLocked() {
 	}
 }
 
+// capturePanic converts a panicking search unit into the shared
+// first-error state, so a crashing worker (real bug or injected fault)
+// degrades the solve into a typed error instead of killing the process.
+// Must be installed with defer on every goroutine that runs search code.
+func (st *bbState) capturePanic() {
+	if r := recover(); r != nil {
+		st.fail(fmt.Errorf("milp: worker panic: %v", r))
+	}
+}
+
 func (st *bbState) fail(err error) {
 	st.mu.Lock()
 	if st.firstErr == nil {
@@ -346,6 +371,9 @@ func (st *bbState) lpOpts() *lp.Options {
 		o.MaxIters = st.opts.LP.MaxIters
 		o.Eps = st.opts.LP.Eps
 	}
+	if st.opts.Hooks != nil {
+		o.Hooks = st.opts.Hooks.LP
+	}
 	return o
 }
 
@@ -416,6 +444,9 @@ func (w *bbWorker) expand(nd *node) {
 	}
 	st.nodes.Add(1)
 	w.local++
+	if h := st.opts.Hooks; h != nil && h.OnNode != nil {
+		h.OnNode(int(st.nodes.Load()))
+	}
 
 	bounds := nd.bounds
 	if fp := st.fixed.Load(); fp != nil && len(*fp) > 0 {
@@ -541,10 +572,16 @@ func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
 		return nil, w.err
 	}
 	w.open.push(rootNode())
-	w.run()
+	func() {
+		defer st.capturePanic()
+		w.run()
+	}()
 	w.close()
 	if w.err != nil {
 		return nil, w.err
+	}
+	if err := st.err(); err != nil {
+		return nil, err
 	}
 	return st.result(), nil
 }

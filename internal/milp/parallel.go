@@ -36,16 +36,25 @@ func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
 	pre.open = newFrontier(BestFirst)
 	pre.open.push(rootNode())
 	target := prePhaseFanout * workers
-	for !pre.open.empty() && pre.open.size() < target {
-		if pre.checkBudget() {
-			break
+	func() {
+		defer st.capturePanic()
+		for !pre.open.empty() && pre.open.size() < target {
+			if pre.checkBudget() {
+				break
+			}
+			pre.expand(pre.open.pop())
+			if pre.err != nil {
+				return
+			}
 		}
-		pre.expand(pre.open.pop())
-		if pre.err != nil {
-			return nil, pre.err
-		}
-	}
+	}()
 	pre.close()
+	if pre.err != nil {
+		return nil, pre.err
+	}
+	if err := st.err(); err != nil {
+		return nil, err
+	}
 	subtrees := pre.open.drain()
 	if len(subtrees) == 0 || st.stop.Load() {
 		if len(subtrees) > 0 {
@@ -61,6 +70,11 @@ func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Recover runs after w.close (LIFO), so a panicking worker
+			// still folds its LP stats in and, because the work channel
+			// is buffered, never wedges the feeder: surviving workers
+			// drain the remaining subtrees.
+			defer st.capturePanic()
 			w := st.newWorker()
 			if w.err != nil {
 				st.fail(w.err)

@@ -1,0 +1,65 @@
+package specfile
+
+import (
+	"testing"
+
+	"sos/internal/expts"
+)
+
+// FuzzSpecfile: Parse must never panic on arbitrary bytes, and any
+// document it accepts must survive an encode/parse round trip and build
+// a processor pool without blowing up. Seeds are the two paper examples
+// (the real on-disk format) plus characteristic corruptions.
+func FuzzSpecfile(f *testing.F) {
+	g1, lib1 := expts.Example1()
+	s1 := &Spec{Graph: g1, Library: lib1, Pool: []int{2, 2, 2}}
+	if data, err := s1.Encode(); err == nil {
+		f.Add(data)
+	} else {
+		f.Fatal(err)
+	}
+	g2, lib2 := expts.Example2()
+	s2 := &Spec{Graph: g2, Library: lib2}
+	if data, err := s2.Encode(); err == nil {
+		f.Add(data)
+	} else {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph": null, "library": null}`))
+	f.Add([]byte(`{"graph": {"name": "g", "subtasks": [{"name": "a"}],
+		"arcs": [{"src": "a", "dst": "a"}]},
+		"library": {"name": "l", "types": [{"name": "t", "cost": 1, "exec": [1]}]}}`))
+	f.Add([]byte(`{"graph": {"subtasks": [{"name": "a"}, {"name": "a"}]},
+		"library": {"types": []}}`))
+	f.Add([]byte(`{"graph": {"subtasks": [{"name": "a"}]},
+		"library": {"types": [{"name": "t", "cost": 1, "exec": [1]}]}, "pool": [-1]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted documents are a contract: re-encoding and re-parsing
+		// must agree, and the pool must materialize within the parse-time
+		// bounds.
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nencoded: %q", err, data, enc)
+		}
+		if s2.Graph.NumSubtasks() != s.Graph.NumSubtasks() || s2.Graph.NumArcs() != s.Graph.NumArcs() {
+			t.Fatalf("round trip changed the graph: %d/%d subtasks, %d/%d arcs",
+				s.Graph.NumSubtasks(), s2.Graph.NumSubtasks(), s.Graph.NumArcs(), s2.Graph.NumArcs())
+		}
+		if s.Library.NumTypes() <= 64 {
+			pool := s.Instances()
+			if pool.NumProcs() < 0 {
+				t.Fatal("negative pool size")
+			}
+		}
+	})
+}

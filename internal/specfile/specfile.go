@@ -42,8 +42,18 @@ func Parse(data []byte) (*Spec, error) {
 	if s.Pool != nil && len(s.Pool) != s.Library.NumTypes() {
 		return nil, fmt.Errorf("specfile: pool has %d entries for %d types", len(s.Pool), s.Library.NumTypes())
 	}
+	for i, n := range s.Pool {
+		if n < 0 || n > MaxPoolPerType {
+			return nil, fmt.Errorf("specfile: pool[%d] = %d outside [0, %d]", i, n, MaxPoolPerType)
+		}
+	}
 	return &s, nil
 }
+
+// MaxPoolPerType bounds the per-type instance count a spec file may
+// request, so a corrupt or hostile document cannot make pool
+// construction allocate without limit.
+const MaxPoolPerType = 1024
 
 // Load reads and parses a spec file.
 func Load(path string) (*Spec, error) {

@@ -1,0 +1,56 @@
+package taskgraph_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sos/internal/expts"
+	"sos/internal/taskgraph"
+)
+
+// FuzzGraphValidate: decoding arbitrary JSON into a Graph must never
+// panic, and any graph the decoder accepts must freeze (or reject with
+// an error), re-encode, and decode back to the same shape. Seeds are the
+// two paper graphs plus structural edge cases the validator must catch.
+func FuzzGraphValidate(f *testing.F) {
+	g1, _ := expts.Example1()
+	if data, err := json.Marshal(g1); err == nil {
+		f.Add(data)
+	} else {
+		f.Fatal(err)
+	}
+	g2, _ := expts.Example2()
+	if data, err := json.Marshal(g2); err == nil {
+		f.Add(data)
+	} else {
+		f.Fatal(err)
+	}
+	f.Add([]byte(`{"name": "empty"}`))
+	f.Add([]byte(`{"subtasks": [{"name": "a"}], "arcs": [{"src": "a", "dst": "a"}]}`))
+	f.Add([]byte(`{"subtasks": [{"name": "a"}, {"name": "b"}],
+		"arcs": [{"src": "a", "dst": "b"}, {"src": "b", "dst": "a"}]}`))
+	f.Add([]byte(`{"subtasks": [{"name": "a"}, {"name": "b"}],
+		"arcs": [{"src": "a", "dst": "b", "volume": -1, "fr": 2, "fa": -0.5}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g taskgraph.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return
+		}
+		if err := g.Freeze(); err != nil {
+			return
+		}
+		enc, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		var g2 taskgraph.Graph
+		if err := json.Unmarshal(enc, &g2); err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nencoded: %q", err, data, enc)
+		}
+		if g2.NumSubtasks() != g.NumSubtasks() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed the graph: %d/%d subtasks, %d/%d arcs",
+				g.NumSubtasks(), g2.NumSubtasks(), g.NumArcs(), g2.NumArcs())
+		}
+	})
+}

@@ -54,12 +54,15 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	ng := New(jg.Name)
 	byName := make(map[string]SubtaskID, len(jg.Subtasks))
 	for _, s := range jg.Subtasks {
-		if _, dup := byName[s.Name]; dup {
-			return fmt.Errorf("taskgraph %q: duplicate subtask name %q", jg.Name, s.Name)
-		}
 		id := ng.AddSubtask(s.Name)
+		// Check the assigned name, not the wire name: an omitted name is
+		// auto-filled as S<n>, which may collide with an explicit one.
+		name := ng.Subtask(id).Name
+		if _, dup := byName[name]; dup {
+			return fmt.Errorf("taskgraph %q: duplicate subtask name %q", jg.Name, name)
+		}
 		ng.SetMem(id, s.Mem)
-		byName[s.Name] = id
+		byName[name] = id
 	}
 	for _, a := range jg.Arcs {
 		src, ok := byName[a.Src]

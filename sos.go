@@ -36,9 +36,11 @@ package sos
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"sos/internal/arch"
+	"sos/internal/budget"
 	"sos/internal/exact"
 	"sos/internal/heur"
 	"sos/internal/milp"
@@ -115,6 +117,31 @@ func DefaultPool(lib *Library, g *Graph, maxPerType int) *Pool {
 	return arch.AutoPool(lib, g, maxPerType)
 }
 
+// Status classifies how a solve terminated under the anytime contract:
+// budget exhaustion is a quality level, not a failure.
+type Status = budget.Status
+
+// Statuses, from best to worst certificate.
+const (
+	// StatusOptimal: the result is proven optimal.
+	StatusOptimal = budget.StatusOptimal
+	// StatusFeasible: an incumbent was found but the budget fired before
+	// optimality was proven; Result.Gap quantifies the uncertainty.
+	StatusFeasible = budget.StatusFeasible
+	// StatusBudgetExhausted: the budget fired before any design was found.
+	StatusBudgetExhausted = budget.StatusBudgetExhausted
+	// StatusInfeasible: proven that no design exists.
+	StatusInfeasible = budget.StatusInfeasible
+	// StatusCanceled: the context was canceled before any design was found.
+	StatusCanceled = budget.StatusCanceled
+)
+
+// ErrBudgetExhausted is the sentinel wrapped by every budget- or
+// cancellation-driven early exit from a sweep; check with errors.Is. When
+// the exit came from context cancellation the error also wraps ctx.Err(),
+// so errors.Is(err, context.Canceled) holds as well.
+var ErrBudgetExhausted = budget.ErrExhausted
+
 // Objective selects what synthesis minimizes.
 type Objective int
 
@@ -167,6 +194,16 @@ type Spec struct {
 	Engine Engine
 	// Budget caps each solve's wall time (0 = unlimited).
 	Budget time.Duration
+	// SweepBudget, used by Frontier/FrontierByDeadline, is one total
+	// wall-clock budget apportioned across the whole sweep (exponentially
+	// decaying per-point slices, unused time rolling over). 0 = unlimited.
+	SweepBudget time.Duration
+	// Anytime enables graceful degradation in Frontier/FrontierByDeadline:
+	// a point whose exact solve exhausts its budget slice degrades down
+	// the ladder (MILP → combinatorial → heuristic) instead of stopping
+	// the sweep, and the resulting FrontierPoint is annotated with its
+	// Status and Gap.
+	Anytime bool
 
 	// Memory enables the §5 local-memory cost extension.
 	Memory bool
@@ -193,6 +230,16 @@ type Result struct {
 	// Design is the synthesized system and schedule (nil when the spec is
 	// infeasible).
 	Design *Design
+	// Status classifies the termination: StatusOptimal and StatusInfeasible
+	// are proofs; StatusFeasible carries an incumbent plus a Bound/Gap
+	// certificate; StatusBudgetExhausted and StatusCanceled mean the
+	// budget or context fired before any design was found.
+	Status Status
+	// Bound is the best proven bound on the objective (0 when unknown).
+	Bound float64
+	// Gap is the relative optimality gap |obj-Bound|/max(1,|obj|) of a
+	// StatusFeasible incumbent; +Inf when no bound is known (heuristic).
+	Gap float64
 	// Optimal reports whether optimality was proven. Heuristic results
 	// and budget-limited searches report false.
 	Optimal bool
@@ -235,6 +282,24 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		res.Design = design
 		res.Optimal = sol.Status == milp.Optimal
 		res.Infeasible = sol.Status == milp.Infeasible
+		switch sol.Status {
+		case milp.Optimal:
+			res.Status = StatusOptimal
+			res.Bound = sol.Obj
+		case milp.Feasible:
+			res.Status = StatusFeasible
+			res.Bound = sol.Bound
+			res.Gap = sol.Gap
+		case milp.Infeasible:
+			res.Status = StatusInfeasible
+		case milp.Unbounded:
+			return nil, fmt.Errorf("sos: MILP relaxation unbounded (model bug)")
+		default: // milp.NoSolution: budget or cancellation before any incumbent
+			res.Status = StatusBudgetExhausted
+			if ctx.Err() != nil {
+				res.Status = StatusCanceled
+			}
+		}
 	case EngineHeuristic:
 		maxCounts := make([]int, sp.Library.NumTypes())
 		for _, p := range sp.Pool.Procs() {
@@ -245,9 +310,12 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		})
 		if err != nil {
 			res.Infeasible = true
+			res.Status = StatusInfeasible
 			return res, nil
 		}
 		res.Design = hd
+		res.Status = StatusFeasible
+		res.Gap = math.Inf(1)
 	default: // EngineAuto, EngineCombinatorial
 		eo := exact.Options{CostCap: sp.CostCap, Deadline: sp.Deadline,
 			TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
@@ -261,6 +329,9 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		res.Design = r.Design
 		res.Optimal = r.Optimal && r.Design != nil
 		res.Infeasible = r.Optimal && r.Design == nil
+		res.Status = r.Status
+		res.Bound = r.Bound
+		res.Gap = r.Gap
 		res.Nodes = r.Nodes
 	}
 	if res.Design != nil {
@@ -276,6 +347,13 @@ type FrontierPoint struct {
 	Design *Design
 	Cost   float64
 	Perf   float64
+	// Status annotates the point's quality: StatusOptimal means certified
+	// non-inferior, StatusFeasible means a budget-degraded incumbent whose
+	// Gap bounds how far it may sit above the true frontier.
+	Status Status
+	// Gap is the relative optimality gap of a StatusFeasible point (+Inf
+	// when no bound is known, e.g. from the heuristic ladder rung).
+	Gap float64
 }
 
 // Frontier traces the complete non-inferior (cost, performance) design
@@ -286,23 +364,44 @@ func Frontier(ctx context.Context, spec Spec) ([]FrontierPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := sweepOptions(sp)
+	pts, err := pareto.Sweep(ctx, sp.Graph, sp.Pool, sp.Topology, opts)
+	return frontierPoints(pts), err
+}
+
+// sweepOptions translates a Spec into pareto sweep options, wiring the
+// budget governor and degradation ladder when the spec asks for them.
+func sweepOptions(sp Spec) pareto.Options {
 	opts := pareto.Options{
 		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
 	}
+	var first budget.Rung
 	switch sp.Engine {
 	case EngineMILP:
 		opts.Engine = pareto.EngineMILP
 		opts.MILP = &milp.Options{TimeLimit: sp.Budget}
+		first = budget.RungMILP
 	default:
 		opts.Engine = pareto.EngineCombinatorial
 		opts.Exact = &exact.Options{TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
+		first = budget.RungCombinatorial
 	}
-	pts, err := pareto.Sweep(ctx, sp.Graph, sp.Pool, sp.Topology, opts)
+	if sp.SweepBudget > 0 {
+		opts.Governor = budget.New(sp.SweepBudget)
+	}
+	if sp.Anytime {
+		opts.Ladder = budget.DefaultLadder(first)
+	}
+	return opts
+}
+
+func frontierPoints(pts []pareto.Point) []FrontierPoint {
 	out := make([]FrontierPoint, len(pts))
 	for i, p := range pts {
-		out[i] = FrontierPoint{Design: p.Design, Cost: p.Cost(), Perf: p.Perf()}
+		out[i] = FrontierPoint{Design: p.Design, Cost: p.Cost(), Perf: p.Perf(),
+			Status: p.Status, Gap: p.Gap}
 	}
-	return out, err
+	return out
 }
 
 // FrontierByDeadline traces the same non-inferior set as Frontier but from
@@ -314,23 +413,9 @@ func FrontierByDeadline(ctx context.Context, spec Spec, perfStep float64) ([]Fro
 	if err != nil {
 		return nil, err
 	}
-	opts := pareto.Options{
-		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
-	}
-	switch sp.Engine {
-	case EngineMILP:
-		opts.Engine = pareto.EngineMILP
-		opts.MILP = &milp.Options{TimeLimit: sp.Budget}
-	default:
-		opts.Engine = pareto.EngineCombinatorial
-		opts.Exact = &exact.Options{TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
-	}
+	opts := sweepOptions(sp)
 	pts, err := pareto.SweepByDeadline(ctx, sp.Graph, sp.Pool, sp.Topology, opts, perfStep)
-	out := make([]FrontierPoint, len(pts))
-	for i, p := range pts {
-		out[i] = FrontierPoint{Design: p.Design, Cost: p.Cost(), Perf: p.Perf()}
-	}
-	return out, err
+	return frontierPoints(pts), err
 }
 
 // Validate re-checks a design against every correctness rule of the
