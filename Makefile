@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf fuzz-smoke
+.PHONY: tier1 vet build test bench-smoke bench perf fuzz-smoke lint
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, and a one-iteration smoke of the headline benchmark.
@@ -8,6 +8,16 @@ tier1: vet build test bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+## lint: vet plus staticcheck. staticcheck is used when present on PATH
+## (CI installs it); locally the target degrades to vet-only with a note
+## rather than requiring a network install.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not on PATH; skipped (install: go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

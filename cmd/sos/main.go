@@ -7,6 +7,7 @@
 //	sos -spec problem.json [-topology p2p|bus|ring] [-objective makespan|cost]
 //	    [-cost-cap N] [-deadline N] [-engine auto|milp|heuristic]
 //	    [-budget 1m] [-frontier] [-gantt] [-trace]
+//	    [-json] [-solver-trace events.jsonl] [-pprof cpu.prof] [-debug-addr :6060]
 //	sos -example 1|2 [...]        # run a built-in paper example
 //	sos -write-spec problem.json  # emit a template spec and exit
 //
@@ -98,6 +99,10 @@ func run() error {
 		dumpEqns    = flag.String("dump-equations", "", "write the MILP as readable algebra to the given path")
 		saveSVG     = flag.String("svg", "", "render the synthesized design as SVG to the given path")
 		saveJSON    = flag.String("save-design", "", "save the synthesized design as JSON to the given path")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable JSON run report to stdout instead of the human report")
+		solverTrace = flag.String("solver-trace", "", "stream solver trace events (nodes, prunes, incumbents, LP resolves) as JSON lines to the given path ('-' = stderr)")
+		pprofPath   = flag.String("pprof", "", "write a CPU profile of the solve to the given path")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar telemetry and net/http/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -181,14 +186,28 @@ func run() error {
 		}
 	}
 
-	ctx := context.Background()
-	if *frontier {
-		return runFrontier(ctx, spec)
+	ob, err := setupObservability(*jsonOut, *solverTrace, *pprofPath, *debugAddr)
+	if err != nil {
+		return err
 	}
-	return runOnce(ctx, spec, runFlags{
-		gantt: *gantt, trace: *trace, slack: *slack, metrics: *metrics,
-		svgPath: *saveSVG, jsonPath: *saveJSON,
-	})
+	spec.Telemetry = ob.tel
+
+	ctx := context.Background()
+	switch {
+	case *jsonOut:
+		err = runJSON(ctx, spec, *frontier)
+	case *frontier:
+		err = runFrontier(ctx, spec)
+	default:
+		err = runOnce(ctx, spec, runFlags{
+			gantt: *gantt, trace: *trace, slack: *slack, metrics: *metrics,
+			svgPath: *saveSVG, jsonPath: *saveJSON,
+		})
+	}
+	if cerr := ob.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 type runFlags struct {

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sos"
 )
 
 // buildCLI compiles the command under test once per test binary.
@@ -117,5 +122,183 @@ func TestCLIInfeasible(t *testing.T) {
 	}
 	if !strings.Contains(out, "infeasible") {
 		t.Errorf("expected infeasible report:\n%s", out)
+	}
+}
+
+// runCLIOut runs the binary keeping stdout and stderr separate, so JSON
+// reports on stdout can be parsed even when log lines go to stderr.
+func runCLIOut(t *testing.T, bin string, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err = cmd.Run()
+	return so.String(), se.String(), err
+}
+
+// report mirrors runReport for decoding in tests; Result exercises the
+// sos.Result UnmarshalJSON round trip.
+type report struct {
+	Result         *sos.Result        `json:"result"`
+	Frontier       []json.RawMessage  `json:"frontier"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Counters       map[string]int64   `json:"counters"`
+	PhasesSeconds  map[string]float64 `json:"phases_seconds"`
+	Error          string             `json:"error"`
+}
+
+func TestCLIJSONReport(t *testing.T) {
+	bin := buildCLI(t)
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-cost-cap", "14", "-budget", "2m", "-json")
+	if err != nil {
+		t.Fatalf("%v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Result == nil || rep.Result.Status != sos.StatusOptimal || !rep.Result.Optimal {
+		t.Errorf("result = %+v, want optimal", rep.Result)
+	}
+	if rep.Counters["map_nodes"] != int64(rep.Result.Nodes) {
+		t.Errorf("map_nodes counter %d != result nodes %d",
+			rep.Counters["map_nodes"], rep.Result.Nodes)
+	}
+	if rep.Counters["incumbents"] < 1 {
+		t.Errorf("no incumbents in counters: %v", rep.Counters)
+	}
+	if rep.PhasesSeconds["solve"] <= 0 || rep.ElapsedSeconds <= 0 {
+		t.Errorf("timings missing: phases=%v elapsed=%g", rep.PhasesSeconds, rep.ElapsedSeconds)
+	}
+}
+
+// TestCLIJSONHeuristicGap: a heuristic run has Gap=+Inf, which must appear
+// as null in the JSON (encoding/json rejects non-finite floats) and decode
+// back to +Inf.
+func TestCLIJSONHeuristicGap(t *testing.T) {
+	bin := buildCLI(t)
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-engine", "heuristic", "-json")
+	if err != nil {
+		t.Fatalf("%v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(stdout), &raw); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	res := raw["result"].(map[string]any)
+	if g, ok := res["gap"]; !ok || g != nil {
+		t.Errorf("gap = %v, want explicit null", g)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.Result.Gap, 1) {
+		t.Errorf("round-tripped gap = %g, want +Inf", rep.Result.Gap)
+	}
+}
+
+// TestCLIJSONBudgetExhausted: the report must still be valid, parseable
+// JSON when the solve dies before any incumbent — with the unbounded gap
+// as null and the exit reason in the error field — and the process must
+// exit nonzero.
+func TestCLIJSONBudgetExhausted(t *testing.T) {
+	bin := buildCLI(t)
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-engine", "combinatorial",
+		"-budget", "1ns", "-json")
+	if err == nil {
+		t.Fatalf("budget-exhausted run exited 0\nstdout:\n%s", stdout)
+	}
+	var rep report
+	if jerr := json.Unmarshal([]byte(stdout), &rep); jerr != nil {
+		t.Fatalf("stdout is not valid JSON: %v\nstdout:\n%s\nstderr:\n%s", jerr, stdout, stderr)
+	}
+	if rep.Result == nil || rep.Result.Status != sos.StatusBudgetExhausted {
+		t.Fatalf("result = %+v, want budget-exhausted", rep.Result)
+	}
+	if !math.IsInf(rep.Result.Gap, 1) {
+		t.Errorf("round-tripped gap = %g, want +Inf (unknown)", rep.Result.Gap)
+	}
+	if rep.Error == "" {
+		t.Error("error field empty on failed run")
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(stdout), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if g := raw["result"].(map[string]any)["gap"]; g != nil {
+		t.Errorf("raw gap = %v, want null", g)
+	}
+}
+
+func TestCLIJSONFrontier(t *testing.T) {
+	bin := buildCLI(t)
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-frontier", "-budget", "2m", "-json")
+	if err != nil {
+		t.Fatalf("%v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(rep.Frontier) < 2 {
+		t.Fatalf("frontier has %d points, want >= 2", len(rep.Frontier))
+	}
+	if rep.Counters["points"] != int64(len(rep.Frontier)) {
+		t.Errorf("points counter %d != %d frontier entries",
+			rep.Counters["points"], len(rep.Frontier))
+	}
+}
+
+// TestCLISolverTrace: -solver-trace streams one JSON object per line and
+// the event stream is consistent with the run's node counters.
+func TestCLISolverTrace(t *testing.T) {
+	bin := buildCLI(t)
+	tracePath := filepath.Join(t.TempDir(), "events.jsonl")
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-cost-cap", "14",
+		"-budget", "2m", "-json", "-solver-trace", tracePath)
+	if err != nil {
+		t.Fatalf("%v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not JSON: %v\n%s", err, line)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["incumbent"] != rep.Counters["incumbents"] {
+		t.Errorf("%d incumbent events, counter says %d", kinds["incumbent"], rep.Counters["incumbents"])
+	}
+	if kinds["incumbent"] < 1 {
+		t.Errorf("no incumbent events in trace: %v", kinds)
+	}
+}
+
+func TestCLIPprof(t *testing.T) {
+	bin := buildCLI(t)
+	prof := filepath.Join(t.TempDir(), "cpu.prof")
+	stdout, stderr, err := runCLIOut(t, bin, "-example", "1", "-cost-cap", "14",
+		"-budget", "2m", "-pprof", prof)
+	if err != nil {
+		t.Fatalf("%v\nstdout:\n%s\nstderr:\n%s", err, stdout, stderr)
+	}
+	info, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile file empty")
 	}
 }

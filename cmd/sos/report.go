@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr server
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"sos"
+)
+
+// observability groups the solver-telemetry side channels: the collector
+// threaded through Spec.Telemetry, the optional trace stream, the CPU
+// profile, and the expvar/pprof debug server.
+type observability struct {
+	tel       *sos.Telemetry
+	stream    *sos.StreamTraceSink
+	traceFile *os.File
+	profFile  *os.File
+}
+
+// setupObservability wires the -json/-solver-trace/-pprof/-debug-addr flags.
+// The collector is created only when something consumes it, so a plain run
+// keeps the nil-collector fast path.
+func setupObservability(jsonOut bool, tracePath, pprofPath, debugAddr string) (*observability, error) {
+	ob := &observability{}
+	var sink sos.TraceSink
+	if tracePath != "" {
+		w := os.Stderr
+		if tracePath != "-" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return nil, fmt.Errorf("solver trace: %w", err)
+			}
+			ob.traceFile = f
+			w = f
+		}
+		ob.stream = sos.NewStreamTraceSink(w)
+		sink = ob.stream
+	}
+	if jsonOut || sink != nil || debugAddr != "" {
+		ob.tel = sos.NewTelemetry(sink)
+	}
+	if pprofPath != "" {
+		f, err := os.Create(pprofPath)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		ob.profFile = f
+	}
+	if debugAddr != "" {
+		ob.tel.Publish("sos_solver")
+		expvar.Publish("sos_start", expvar.Func(func() any { return time.Now().String() }))
+		go func() {
+			// Best-effort debug endpoint; the solve does not depend on it.
+			_ = http.ListenAndServe(debugAddr, nil)
+		}()
+	}
+	return ob, nil
+}
+
+// close flushes the profile and the trace stream.
+func (ob *observability) close() error {
+	if ob.profFile != nil {
+		pprof.StopCPUProfile()
+		if err := ob.profFile.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.traceFile != nil {
+		if err := ob.traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.stream != nil {
+		return ob.stream.Err()
+	}
+	return nil
+}
+
+// runReport is the machine-readable run summary -json emits: the solution
+// (or frontier), wall time, and the telemetry snapshot. All floats are
+// JSON-safe: non-finite gaps/bounds serialize as null via the sos
+// marshalers.
+type runReport struct {
+	Result         *sos.Result         `json:"result,omitempty"`
+	Frontier       []sos.FrontierPoint `json:"frontier,omitempty"`
+	ElapsedSeconds float64             `json:"elapsed_seconds"`
+	Counters       map[string]int64    `json:"counters,omitempty"`
+	PhasesSeconds  map[string]float64  `json:"phases_seconds,omitempty"`
+	Error          string              `json:"error,omitempty"`
+}
+
+// runJSON runs the solve (or sweep) and writes one JSON report to stdout.
+// The report is always emitted — including on budget exhaustion, where it
+// carries the partial result and the error string — before the process
+// status is decided, so scripts can parse the output of failed runs too.
+func runJSON(ctx context.Context, spec sos.Spec, frontier bool) error {
+	tel := spec.Telemetry
+	rep := runReport{}
+	start := time.Now()
+	var solveErr error
+	stop := tel.Phase("solve")
+	if frontier {
+		rep.Frontier, solveErr = sos.Frontier(ctx, spec)
+	} else {
+		rep.Result, solveErr = sos.Synthesize(ctx, spec)
+	}
+	stop()
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	rep.Counters = tel.Counters()
+	rep.PhasesSeconds = map[string]float64{}
+	for name, ph := range tel.Phases() {
+		rep.PhasesSeconds[name] = ph.Total.Seconds()
+	}
+
+	// Classify the exit before encoding so the report carries the reason.
+	exitErr := solveErr
+	if solveErr == nil && rep.Result != nil {
+		switch rep.Result.Status {
+		case sos.StatusBudgetExhausted, sos.StatusCanceled:
+			exitErr = fmt.Errorf("synthesis %v before any incumbent: %w",
+				rep.Result.Status, sos.ErrBudgetExhausted)
+		case sos.StatusFeasible:
+			if spec.Engine != sos.EngineHeuristic {
+				exitErr = fmt.Errorf("budget exhausted before optimality proof (gap %.3g): %w",
+					rep.Result.Gap, sos.ErrBudgetExhausted)
+			}
+		}
+	}
+	if exitErr != nil {
+		rep.Error = exitErr.Error()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return exitErr
+}

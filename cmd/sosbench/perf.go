@@ -36,6 +36,18 @@ type perfReport struct {
 	Results   []perfResult `json:"results"`
 }
 
+// sanitize replaces non-finite metric values so the report always encodes:
+// encoding/json rejects NaN/Inf outright, and a degenerate measurement
+// (zero-duration run, failed benchmark) would otherwise poison the whole
+// BENCH file.
+func (r *perfReport) sanitize() {
+	for i := range r.Results {
+		if v := r.Results[i].NodesPerSec; math.IsNaN(v) || math.IsInf(v, 0) {
+			r.Results[i].NodesPerSec = 0
+		}
+	}
+}
+
 // Perf measures the MILP engine's node throughput and the warm-vs-cold
 // re-solve costs, then writes BENCH_<date>.json next to the working
 // directory. Configurations mirror bench_test.go so the two stay
@@ -143,6 +155,7 @@ func Perf() error {
 	if err != nil {
 		return err
 	}
+	report.sanitize()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPerfReportSanitize pins the JSON-safety guard: a report carrying
+// non-finite metric values (possible from degenerate measurements) must
+// sanitize to something encoding/json accepts, without touching finite
+// values.
+func TestPerfReportSanitize(t *testing.T) {
+	rep := perfReport{
+		Date: "2026-01-01",
+		Results: []perfResult{
+			{Name: "inf", NodesPerSec: math.Inf(1)},
+			{Name: "nan", NodesPerSec: math.NaN()},
+			{Name: "neg-inf", NodesPerSec: math.Inf(-1)},
+			{Name: "ok", NodesPerSec: 1234.5, Nodes: 7},
+		},
+	}
+	if _, err := json.Marshal(rep); err == nil {
+		t.Fatal("fixture is already marshalable; non-finite guard untested")
+	}
+	rep.sanitize()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal after sanitize: %v", err)
+	}
+	for _, r := range rep.Results[:3] {
+		if r.NodesPerSec != 0 {
+			t.Errorf("%s: NodesPerSec = %g, want 0", r.Name, r.NodesPerSec)
+		}
+	}
+	if rep.Results[3].NodesPerSec != 1234.5 {
+		t.Errorf("finite value mutated: %g", rep.Results[3].NodesPerSec)
+	}
+	if !strings.Contains(string(data), "1234.5") {
+		t.Errorf("finite metric missing from JSON: %s", data)
+	}
+}

@@ -5,9 +5,10 @@
 // Ladder (MILP → combinatorial → heuristic) a governed sweep walks when a
 // point cannot be closed exactly within its slice.
 //
-// The package deliberately depends on nothing but the standard library so
-// that internal/exact, internal/pareto, and the sos facade can all share
-// one taxonomy without import cycles.
+// The package deliberately depends on nothing but the standard library and
+// the (equally dependency-free) telemetry collector, so that internal/exact,
+// internal/pareto, and the sos facade can all share one taxonomy without
+// import cycles.
 package budget
 
 import (
@@ -15,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sos/internal/telemetry"
 )
 
 // Status classifies the outcome of an anytime solve. Every engine maps its
@@ -93,6 +96,7 @@ type Governor struct {
 	frac     float64       // fraction of remaining time per slice
 	floor    time.Duration // minimum slice
 	now      func() time.Time
+	tel      *telemetry.Collector // optional; records granted slices
 }
 
 // Default apportioning policy. Half the remaining budget per point means a
@@ -146,18 +150,35 @@ func (g *Governor) Slice() time.Duration {
 	return s
 }
 
+// WithTelemetry attaches a collector to the governor: every slice granted
+// through Limit is counted and, when tracing, emitted as a slice event whose
+// value is the granted allowance in seconds. Returns g for chaining; safe on
+// a nil governor (no-op).
+func (g *Governor) WithTelemetry(tel *telemetry.Collector) *Governor {
+	if g != nil {
+		g.tel = tel
+	}
+	return g
+}
+
 // Limit combines a caller-specified per-solve budget with the governor's
 // slice: the tighter of the two wins, and 0 on both sides means unlimited.
 func (g *Governor) Limit(perSolve time.Duration) time.Duration {
 	s := g.Slice()
+	var granted time.Duration
 	switch {
 	case s <= 0:
-		return perSolve
+		granted = perSolve
 	case perSolve <= 0 || s < perSolve:
-		return s
+		granted = s
 	default:
-		return perSolve
+		granted = perSolve
 	}
+	if g != nil && g.tel != nil {
+		g.tel.Inc(telemetry.CtrSlices)
+		g.tel.Emit(telemetry.EvSlice, 0, granted.Seconds(), "")
+	}
+	return granted
 }
 
 // Rung names one level of the degradation ladder.

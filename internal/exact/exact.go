@@ -28,7 +28,36 @@ import (
 	"sos/internal/budget"
 	"sos/internal/schedule"
 	"sos/internal/taskgraph"
+	"sos/internal/telemetry"
 )
+
+// incumbentTol is the relative strict-improvement slack used in every
+// incumbent comparison. Comparisons are of the form
+// v >= relCut(best, incumbentTol): a candidate must beat the incumbent by
+// more than incumbentTol*max(1, |best|) to count as an improvement, so the
+// slack keeps its meaning at any objective magnitude (an absolute 1e-9 is
+// below one float64 ULP once |best| exceeds ~2^23).
+const incumbentTol = 1e-9
+
+// relCut returns best - tol*max(1, |best|), the scale-aware pruning cutoff.
+// Infinite bounds pass through unchanged: Inf - tol*Inf is NaN, and a NaN
+// cutoff makes every comparison false, silently disabling the prune.
+func relCut(best, tol float64) float64 {
+	if math.IsInf(best, 0) {
+		return best
+	}
+	return best - tol*math.Max(1, math.Abs(best))
+}
+
+// relPad is the mirror of relCut: best + tol*max(1, |best|), used where a
+// candidate tied with the incumbent should still be admitted (tie-breaking
+// on a secondary criterion).
+func relPad(best, tol float64) float64 {
+	if math.IsInf(best, 0) {
+		return best
+	}
+	return best + tol*math.Max(1, math.Abs(best))
+}
 
 // Objective selects the optimization mode.
 type Objective int
@@ -59,6 +88,12 @@ type Options struct {
 	// NoOverlapIO enables the §5 variant without I/O modules: a remote
 	// transfer occupies both endpoint processors in addition to its links.
 	NoOverlapIO bool
+
+	// Telemetry, when non-nil, receives search counters (mapping nodes,
+	// scheduling nodes, incumbents) and incumbent trace events. Node counts
+	// are accumulated locally per search goroutine and folded in when the
+	// goroutine finishes, so the hot DFS loop never touches shared state.
+	Telemetry *telemetry.Collector
 
 	// testHook, when non-nil, is called once per outer mapping node with
 	// the node count so far; it may panic to simulate a worker crash.
@@ -113,8 +148,17 @@ func Synthesize(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, t
 			objVal = s.localCost
 		}
 	}
+	s.foldTelemetry()
 	res := finishResult(ctx, s.best, objVal, !s.budgetHit, rootLB, s.nodes, s.schedNodes)
 	return res, nil
+}
+
+// foldTelemetry adds this search goroutine's local node counts to the
+// collector (the per-worker aggregation point).
+func (s *search) foldTelemetry() {
+	tel := s.opts.Telemetry
+	tel.Add(telemetry.CtrMapNodes, int64(s.nodes))
+	tel.Add(telemetry.CtrSchedNodes, int64(s.schedNodes))
 }
 
 // runDFS runs the mapping DFS from index start, converting a panic anywhere
@@ -230,6 +274,7 @@ type search struct {
 	nodes      int
 	schedNodes int
 	budgetHit  bool
+	worker     int // telemetry attribution; 0 in sequential mode
 
 	best      *schedule.Design
 	localPerf float64
@@ -260,12 +305,29 @@ func (s *search) bestCost() float64 {
 // accept installs an improving design.
 func (s *search) accept(d *schedule.Design, cost float64) {
 	if s.shared != nil {
-		s.shared.offer(d, cost, s.opts.Objective)
+		if s.shared.offer(d, cost, s.opts.Objective) {
+			s.noteIncumbent(d, cost)
+		}
 		return
 	}
 	s.best = d
 	s.localPerf = d.Makespan
 	s.localCost = cost
+	s.noteIncumbent(d, cost)
+}
+
+// noteIncumbent records an installed incumbent with the collector.
+func (s *search) noteIncumbent(d *schedule.Design, cost float64) {
+	tel := s.opts.Telemetry
+	if tel == nil {
+		return
+	}
+	obj := d.Makespan
+	if s.opts.Objective == MinCost {
+		obj = cost
+	}
+	tel.Inc(telemetry.CtrIncumbents)
+	tel.Emit(telemetry.EvIncumbent, s.worker, obj, "exact")
 }
 
 // overBudget checks node/time/context budgets.
@@ -338,14 +400,15 @@ func (s *search) dfs(idx int) {
 		s.opts.testHook(s.nodes)
 	}
 	if s.opts.Objective == MinMakespan {
-		if s.makespanLB() >= s.bestPerf()-1e-9 {
+		if s.makespanLB() >= relCut(s.bestPerf(), incumbentTol) {
 			return
 		}
+		// Constraint feasibility (not incumbent-relative): absolute slack.
 		if s.opts.CostCap > 0 && s.procCost() > s.opts.CostCap+1e-9 {
 			return
 		}
 	} else {
-		if s.procCost() >= s.bestCost()-1e-9 {
+		if s.procCost() >= relCut(s.bestCost(), incumbentTol) {
 			return
 		}
 		if s.makespanLB() > s.opts.Deadline+1e-9 {
@@ -414,20 +477,20 @@ func (s *search) leaf() {
 		// is cheaper (so the returned design is non-inferior at its own
 		// performance level).
 		bp, bc := s.bestPerf(), s.bestCost()
-		cut := bp - 1e-9
-		if cost < bc-1e-9 {
-			cut = bp + 1e-9
+		cut := relCut(bp, incumbentTol)
+		if cost < relCut(bc, incumbentTol) {
+			cut = relPad(bp, incumbentTol)
 		}
 		d, nodes := optimalSchedule(s.g, s.pool, s.topo, s.mapping, cut, s.opts.NoOverlapIO, &s.budgetHit, s.deadline)
 		s.schedNodes += nodes
 		if d == nil {
 			return
 		}
-		if d.Makespan < bp-1e-9 || cost < bc-1e-9 {
+		if d.Makespan < relCut(bp, incumbentTol) || cost < relCut(bc, incumbentTol) {
 			s.accept(d, cost)
 		}
 	case MinCost:
-		if cost >= s.bestCost()-1e-9 {
+		if cost >= relCut(s.bestCost(), incumbentTol) {
 			return
 		}
 		d, nodes := optimalSchedule(s.g, s.pool, s.topo, s.mapping, s.opts.Deadline+1e-6, s.opts.NoOverlapIO, &s.budgetHit, s.deadline)

@@ -43,9 +43,10 @@ func (si *sharedIncumbent) offer(d *schedule.Design, cost float64, obj Objective
 	curCost := si.cost()
 	var better bool
 	if obj == MinMakespan {
-		better = d.Makespan < curPerf-1e-9 || (d.Makespan <= curPerf+1e-9 && cost < curCost-1e-9)
+		better = d.Makespan < relCut(curPerf, incumbentTol) ||
+			(d.Makespan <= relPad(curPerf, incumbentTol) && cost < relCut(curCost, incumbentTol))
 	} else {
-		better = cost < curCost-1e-9
+		better = cost < relCut(curCost, incumbentTol)
 	}
 	if !better {
 		return false
@@ -133,7 +134,7 @@ func SynthesizeParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Inst
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			// Each prefix is searched inside its own recover scope so a
 			// panicking subtree turns into a recorded error while the
@@ -154,18 +155,20 @@ func SynthesizeParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Inst
 					s.deadline = deadline
 					s.shared = si
 					s.sharedStop = &stop
+					s.worker = id
 					for i, d := range pf {
 						s.mapping[order[i]] = d
 					}
 					s.dfs(len(pf))
 					nodes.Add(int64(s.nodes))
 					sched.Add(int64(s.schedNodes))
+					s.foldTelemetry()
 					if s.budgetHit {
 						stop.Store(true)
 					}
 				}()
 			}
-		}()
+		}(w)
 	}
 	for _, pf := range prefixes {
 		if stop.Load() {

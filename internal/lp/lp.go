@@ -17,6 +17,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"sos/internal/telemetry"
 )
 
 // Sense is the direction of a row constraint.
@@ -236,6 +238,14 @@ type Options struct {
 
 	// Hooks injects failpoints for fault testing; nil in production.
 	Hooks *Hooks
+
+	// Telemetry, when non-nil, receives resolve-level counters and trace
+	// events (warm/cold/fallback, pivot counts). Nil costs one pointer
+	// check per resolve; it is never consulted per pivot.
+	Telemetry *telemetry.Collector
+	// TelemetryWorker is the worker ID stamped on emitted trace events so
+	// parallel searches can attribute resolves.
+	TelemetryWorker int
 }
 
 func (o *Options) maxIters(p *Problem) int {

@@ -3,6 +3,8 @@ package lp
 import (
 	"math"
 	"sort"
+
+	"sos/internal/telemetry"
 )
 
 // Resolver is the warm-start re-solve API used by branch and bound. It
@@ -110,6 +112,7 @@ func (r *Resolver) Stats() ResolveStats { return r.stats }
 func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
 	if h := r.opts.Hooks; h != nil && h.RejectWarm != nil && h.RejectWarm() {
 		r.stats.Fallbacks++
+		r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
 		return r.cold(bounds), nil
 	}
 	if r.s == nil || !r.reusable || r.warmRuns >= refactorEvery {
@@ -159,13 +162,21 @@ func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
 	if !ok {
 		r.stats.Warm--
 		r.stats.Fallbacks++
+		r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
 		return r.cold(bounds), nil
 	}
-	r.stats.DualIters += s.iters
+	dual := s.iters
+	r.stats.DualIters += dual
 	if st == Optimal {
 		before := s.iters
 		st = s.iterate(false)
 		r.stats.PrimalIters += s.iters - before
+	}
+	if tel := r.opts.Telemetry; tel != nil {
+		tel.Inc(telemetry.CtrLPWarm)
+		tel.Add(telemetry.CtrLPDualIters, int64(dual))
+		tel.Add(telemetry.CtrLPPrimalIters, int64(s.iters-dual))
+		tel.Emit(telemetry.EvLPResolve, r.opts.TelemetryWorker, float64(s.iters), "warm")
 	}
 	r.reusable = st == Optimal || st == Infeasible
 	s.finishInto(st, &r.sol)
@@ -180,6 +191,10 @@ func (r *Resolver) cold(bounds map[ColID][2]float64) *Solution {
 	o.BoundOverride = bounds
 	r.s = newSimplex(r.p, &o)
 	r.sol = *r.s.run()
+	if tel := r.opts.Telemetry; tel != nil {
+		tel.Inc(telemetry.CtrLPCold)
+		tel.Emit(telemetry.EvLPResolve, r.opts.TelemetryWorker, float64(r.sol.Iters), "cold")
+	}
 	r.setCur(bounds)
 	// Phase-1 infeasibility (and iteration limits) leave artificials in
 	// play; only a clean terminal state is a sound warm-start base.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sos/internal/lp"
+	"sos/internal/telemetry"
 )
 
 // Status is the outcome of a MILP solve.
@@ -127,6 +128,13 @@ type Options struct {
 	ColdLP bool
 	// Hooks injects failpoints for fault testing; nil in production.
 	Hooks *Hooks
+	// Telemetry, when non-nil, aggregates search counters (node
+	// expand/prune, incumbents, LP warm/cold) and emits trace events when a
+	// sink is attached. Workers aggregate locally and fold on exit, so the
+	// shared collector is touched O(workers) times for counters; events are
+	// emitted as they happen. Nil (the default) costs one pointer check per
+	// node.
+	Telemetry *telemetry.Collector
 }
 
 func (o *Options) intTol() float64 {
@@ -212,25 +220,50 @@ type bbState struct {
 
 func (st *bbState) best() float64 { return math.Float64frombits(st.bestBits.Load()) }
 
-// pruneTol is the absolute optimality slack used when cutting nodes
+// pruneTol is the relative optimality slack used when cutting nodes
 // against the incumbent. Warm-started LP bounds carry round-off on the
-// order of 1e-8, so the seed's 1e-9 margin would let every node that
-// exactly ties the incumbent (common under the degenerate makespan
-// objectives here) escape the prune and be searched in full; 1e-6 absorbs
-// that drift while staying far below any real objective difference.
+// order of 1e-8·|obj|, so the seed's absolute 1e-9 margin would let every
+// node that exactly ties the incumbent (common under the degenerate
+// makespan objectives here) escape the prune and be searched in full,
+// while on large-magnitude objectives an absolute margin is swamped by
+// scale-proportional drift and can cut an improving subtree. 1e-6
+// relative absorbs the drift at every scale while staying far below any
+// real objective difference.
 const pruneTol = 1e-6
+
+// improveTol is the relative margin an incumbent must beat the current
+// best by to be installed (strict improvement up to solver noise).
+const improveTol = 1e-9
+
+// relCut returns best minus a margin of tol scaled by max(1, |best|): the
+// scale-aware threshold for "cannot meaningfully improve on best". An
+// infinite best passes through unchanged (Inf - tol·Inf would be NaN and
+// poison every comparison).
+func relCut(best, tol float64) float64 {
+	if math.IsInf(best, 0) {
+		return best
+	}
+	return best - tol*math.Max(1, math.Abs(best))
+}
+
+// cutoff is the incumbent prune threshold: a node whose bound reaches it
+// cannot improve the incumbent by more than solver noise.
+func cutoff(best float64) float64 { return relCut(best, pruneTol) }
 
 // offer installs a strictly improving incumbent (x must be owned by the
 // caller and integral) and refreshes reduced-cost fixings.
 func (st *bbState) offer(x []float64, obj float64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if obj >= st.best()-1e-9 {
+	if obj >= relCut(st.best(), improveTol) {
 		return
 	}
 	st.bestBits.Store(math.Float64bits(obj))
 	st.bestX = x
 	st.refixLocked()
+	tel := st.opts.Telemetry
+	tel.Inc(telemetry.CtrIncumbents)
+	tel.Emit(telemetry.EvIncumbent, 0, obj, "")
 	if st.opts.OnIncumbent != nil {
 		st.opts.OnIncumbent(obj, x)
 	}
@@ -247,7 +280,7 @@ func (st *bbState) refixLocked() {
 	if st.rootRC == nil || math.IsInf(best, 1) || math.IsInf(st.rootBound, -1) {
 		return
 	}
-	gap := best - st.rootBound - pruneTol
+	gap := best - st.rootBound - pruneTol*math.Max(1, math.Abs(best))
 	cur := st.fixed.Load()
 	var nf map[lp.ColID][2]float64
 	for _, c := range st.s.integer {
@@ -343,19 +376,24 @@ func (st *bbState) result() *Solution {
 }
 
 // bbWorker is one search unit: a frontier of open nodes plus a private
-// warm-start LP resolver.
+// warm-start LP resolver. Telemetry node counters accumulate locally and
+// fold into the shared collector on close, so concurrent workers do not
+// contend on the collector's atomics per node.
 type bbWorker struct {
 	st    *bbState
+	id    int          // worker index, stamped on trace events
 	res   *lp.Resolver // nil under Options.ColdLP
 	open  *frontier
 	local int64 // nodes processed by this worker (budget amortization)
 	err   error
+
+	nExpand, nPrune int64 // telemetry aggregation
 }
 
-func (st *bbState) newWorker() *bbWorker {
-	w := &bbWorker{st: st, open: newFrontier(st.opts.Order)}
+func (st *bbState) newWorker(id int) *bbWorker {
+	w := &bbWorker{st: st, id: id, open: newFrontier(st.opts.Order)}
 	if !st.opts.ColdLP {
-		r, err := st.s.prob.NewResolver(st.lpOpts())
+		r, err := st.s.prob.NewResolver(st.lpOpts(id))
 		if err != nil {
 			w.err = err
 			return w
@@ -365,8 +403,8 @@ func (st *bbState) newWorker() *bbWorker {
 	return w
 }
 
-func (st *bbState) lpOpts() *lp.Options {
-	o := &lp.Options{}
+func (st *bbState) lpOpts(worker int) *lp.Options {
+	o := &lp.Options{Telemetry: st.opts.Telemetry, TelemetryWorker: worker}
 	if st.opts.LP != nil {
 		o.MaxIters = st.opts.LP.MaxIters
 		o.Eps = st.opts.LP.Eps
@@ -381,13 +419,17 @@ func (w *bbWorker) solveLP(bounds map[lp.ColID][2]float64) (*lp.Solution, error)
 	if w.res != nil {
 		return w.res.Solve(bounds)
 	}
-	o := *w.st.lpOpts()
+	o := *w.st.lpOpts(w.id)
 	o.BoundOverride = bounds
 	return w.st.s.prob.Solve(&o)
 }
 
-// close folds the worker's LP statistics into the shared state.
+// close folds the worker's LP statistics and telemetry counters into the
+// shared state (the per-worker aggregation point).
 func (w *bbWorker) close() {
+	tel := w.st.opts.Telemetry
+	tel.Add(telemetry.CtrNodesExpanded, w.nExpand)
+	tel.Add(telemetry.CtrNodesPruned, w.nPrune)
 	if w.res == nil {
 		return
 	}
@@ -439,11 +481,16 @@ func (w *bbWorker) run() {
 // expand solves one node's relaxation and branches.
 func (w *bbWorker) expand(nd *node) {
 	st := w.st
-	if nd.bound >= st.best()-pruneTol && !math.IsInf(nd.bound, -1) {
+	tel := st.opts.Telemetry
+	if nd.bound >= cutoff(st.best()) && !math.IsInf(nd.bound, -1) {
+		w.nPrune++
+		tel.Emit(telemetry.EvNodePrune, w.id, nd.bound, "")
 		return // pruned by incumbent
 	}
 	st.nodes.Add(1)
 	w.local++
+	w.nExpand++
+	tel.Emit(telemetry.EvNodeExpand, w.id, nd.bound, "")
 	if h := st.opts.Hooks; h != nil && h.OnNode != nil {
 		h.OnNode(int(st.nodes.Load()))
 	}
@@ -498,7 +545,7 @@ func (w *bbWorker) expand(nd *node) {
 			st.pc.observe(nd.branchCol, nd.branchUp, (sol.Obj-nd.bound)/width)
 		}
 	}
-	if sol.Obj >= st.best()-pruneTol {
+	if sol.Obj >= cutoff(st.best()) {
 		return // bound-dominated
 	}
 
@@ -567,7 +614,7 @@ func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
 	if opts.Workers > 1 {
 		return s.solveParallel(st)
 	}
-	w := st.newWorker()
+	w := st.newWorker(0)
 	if w.err != nil {
 		return nil, w.err
 	}

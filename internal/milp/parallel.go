@@ -17,7 +17,8 @@ const prePhaseFanout = 2
 // history, immutable reduced-cost fixing snapshots).
 //
 // Soundness: every open node either reaches some worker's frontier or is
-// discarded by the incumbent-bound prune (nd.bound >= best-1e-9), which
+// discarded by the incumbent-bound prune (nd.bound >= cutoff(best), a
+// relative-tolerance cut of the proven incumbent objective), which
 // only ever uses proven integer-feasible objectives; the incumbent is
 // monotone under st.offer's mutex. Workers never share frontiers, so node
 // ownership is unique and every leaf is accounted for. The search is
@@ -29,7 +30,7 @@ func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
 	// Sequential pre-phase: expand best-first so the fan-out hands workers
 	// the most promising subtrees (and so root facts — bound, reduced
 	// costs, unboundedness — are established before concurrency starts).
-	pre := st.newWorker()
+	pre := st.newWorker(0)
 	if pre.err != nil {
 		return nil, pre.err
 	}
@@ -68,14 +69,14 @@ func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
 			// Recover runs after w.close (LIFO), so a panicking worker
 			// still folds its LP stats in and, because the work channel
 			// is buffered, never wedges the feeder: surviving workers
 			// drain the remaining subtrees.
 			defer st.capturePanic()
-			w := st.newWorker()
+			w := st.newWorker(id)
 			if w.err != nil {
 				st.fail(w.err)
 				return
@@ -93,7 +94,7 @@ func (s *Solver) solveParallel(st *bbState) (*Solution, error) {
 					return
 				}
 			}
-		}()
+		}(i + 1)
 	}
 	for _, nd := range subtrees {
 		work <- nd

@@ -1,0 +1,425 @@
+// Package telemetry is the solver stack's observability layer: monotonic
+// counters, phase timers, and a low-overhead branch-and-bound trace-event
+// sink, shared by internal/lp, internal/milp, internal/exact,
+// internal/pareto, and internal/budget.
+//
+// The design constraint is that instrumentation must cost nothing when it
+// is off. A nil *Collector is the valid, default "disabled" state — every
+// method is nil-safe and returns immediately — so hot solver loops pay one
+// pointer check per touch point. Event emission is additionally gated on
+// Tracing(): a Collector without a Sink still aggregates counters (atomic
+// adds) but constructs no Event values.
+//
+// The package deliberately depends on nothing but the standard library so
+// every solver layer can import it without cycles.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonic solver counter. Counters aggregate
+// across workers and across every solve attached to the same Collector.
+type Counter int
+
+// Counters, grouped by the layer that owns them.
+const (
+	// CtrNodesExpanded counts branch-and-bound nodes whose relaxation was
+	// solved (milp; matches Solution.Nodes).
+	CtrNodesExpanded Counter = iota
+	// CtrNodesPruned counts nodes cut by the incumbent bound before their
+	// relaxation was solved.
+	CtrNodesPruned
+	// CtrIncumbents counts strictly improving incumbents installed.
+	CtrIncumbents
+	// CtrLPWarm counts node relaxations served from a retained basis.
+	CtrLPWarm
+	// CtrLPCold counts relaxations built from scratch.
+	CtrLPCold
+	// CtrLPFallbacks counts warm attempts abandoned to a cold rebuild.
+	CtrLPFallbacks
+	// CtrLPDualIters counts dual-simplex repair pivots across warm solves.
+	CtrLPDualIters
+	// CtrLPPrimalIters counts primal cleanup pivots across warm solves.
+	CtrLPPrimalIters
+	// CtrMapNodes counts the exact engine's outer mapping nodes.
+	CtrMapNodes
+	// CtrSchedNodes counts the exact engine's inner scheduling B&B nodes.
+	CtrSchedNodes
+	// CtrPoints counts frontier points appended by sweeps.
+	CtrPoints
+	// CtrSlices counts governor budget slices granted.
+	CtrSlices
+	// CtrRollovers counts points that finished under their slice, rolling
+	// the unused time over to later points.
+	CtrRollovers
+	// CtrDegrades counts ladder rungs entered below the first (each one is
+	// a degradation of a starved point).
+	CtrDegrades
+	// CtrDominatedDropped counts degraded frontier points removed because a
+	// later, cheaper point dominated them.
+	CtrDominatedDropped
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"nodes_expanded", "nodes_pruned", "incumbents",
+	"lp_warm", "lp_cold", "lp_fallbacks", "lp_dual_iters", "lp_primal_iters",
+	"map_nodes", "sched_nodes",
+	"points", "slices", "rollovers", "degrades", "dominated_dropped",
+}
+
+func (c Counter) String() string {
+	if c >= 0 && c < numCounters {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", int(c))
+}
+
+// EventKind classifies one trace event.
+type EventKind int
+
+// Event kinds. The per-kind Value payload is documented on each.
+const (
+	// EvNodeExpand: a B&B node's relaxation was solved. Value is the node's
+	// parent bound (or -Inf at the root).
+	EvNodeExpand EventKind = iota
+	// EvNodePrune: a node was cut against the incumbent before solving.
+	// Value is the node's bound.
+	EvNodePrune
+	// EvIncumbent: a strictly improving incumbent was installed. Value is
+	// its objective.
+	EvIncumbent
+	// EvLPResolve: one node relaxation was served. Label is "warm", "cold",
+	// or "fallback"; Value is the pivot count the solve consumed.
+	EvLPResolve
+	// EvSlice: the governor granted a budget slice. Value is the slice in
+	// seconds.
+	EvSlice
+	// EvRollover: a sweep point finished under its slice. Value is the
+	// unused time in seconds, which rolls over to later points.
+	EvRollover
+	// EvDegrade: a starved sweep point moved down the ladder. Label is the
+	// rung entered.
+	EvDegrade
+	// EvPoint: a sweep point was resolved. Label is its status; Value is
+	// the wall-clock spend in seconds.
+	EvPoint
+	// EvDominated: a previously appended (degraded) frontier point was
+	// dropped because a cheaper, no-slower point superseded it. Value is
+	// the dropped point's makespan.
+	EvDominated
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"node_expand", "node_prune", "incumbent", "lp_resolve",
+	"slice", "rollover", "degrade", "point", "dominated",
+}
+
+func (k EventKind) String() string {
+	if k >= 0 && k < numEventKinds {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// MarshalJSON emits the kind's name, keeping traces self-describing.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON accepts the name form written by MarshalJSON.
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range eventNames {
+		if n == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Event is one trace record. T is the offset from the Collector's start so
+// traces are self-contained and replayable without wall-clock context.
+type Event struct {
+	Kind   EventKind     `json:"kind"`
+	T      time.Duration `json:"t"`
+	Worker int           `json:"worker,omitempty"`
+	Value  float64       `json:"value,omitempty"`
+	Label  string        `json:"label,omitempty"`
+}
+
+// MarshalJSON guards the Value payload: bounds and objectives are ±Inf at
+// the edges of a search, and encoding/json rejects non-finite floats, so
+// they serialize as null instead.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Kind   EventKind     `json:"kind"`
+		T      time.Duration `json:"t"`
+		Worker int           `json:"worker,omitempty"`
+		Value  *float64      `json:"value,omitempty"`
+		Label  string        `json:"label,omitempty"`
+	}
+	w := wire{Kind: e.Kind, T: e.T, Worker: e.Worker, Label: e.Label}
+	if !math.IsInf(e.Value, 0) && !math.IsNaN(e.Value) && e.Value != 0 {
+		v := e.Value
+		w.Value = &v
+	}
+	return json.Marshal(w)
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// use: parallel workers emit without coordination.
+type Sink interface {
+	Emit(Event)
+}
+
+// CountingSink tallies events per kind — the cheapest way to check a
+// traced solve's event counts against its Solution statistics.
+type CountingSink struct {
+	counts [numEventKinds]atomic.Int64
+}
+
+// Emit implements Sink.
+func (s *CountingSink) Emit(e Event) {
+	if e.Kind >= 0 && e.Kind < numEventKinds {
+		s.counts[e.Kind].Add(1)
+	}
+}
+
+// Count returns how many events of kind k were emitted.
+func (s *CountingSink) Count(k EventKind) int64 {
+	if k < 0 || k >= numEventKinds {
+		return 0
+	}
+	return s.counts[k].Load()
+}
+
+// Counts returns the nonzero per-kind tallies keyed by kind name.
+func (s *CountingSink) Counts() map[string]int64 {
+	out := map[string]int64{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if n := s.counts[k].Load(); n > 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// RingSink keeps the last N events (plus a total count), bounding trace
+// memory on long searches.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRingSink creates a ring holding the most recent n events (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, e)
+	} else {
+		s.buf[s.next] = e
+		s.next = (s.next + 1) % cap(s.buf)
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Total returns how many events were emitted over the sink's lifetime.
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// StreamSink writes each event as one JSON line. Writes are serialized;
+// encode errors are remembered (first wins) rather than propagated into
+// solver hot paths.
+type StreamSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewStreamSink creates a JSONL event stream over w.
+func NewStreamSink(w io.Writer) *StreamSink {
+	return &StreamSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *StreamSink) Emit(e Event) {
+	s.mu.Lock()
+	if err := s.enc.Encode(e); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the first encode failure, if any.
+func (s *StreamSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TeeSink fans every event out to multiple sinks.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// PhaseStat aggregates one named phase's timer.
+type PhaseStat struct {
+	Total time.Duration `json:"total"`
+	Count int64         `json:"count"`
+}
+
+// Collector aggregates counters and phase timers and forwards trace events
+// to an optional Sink. All methods are safe for concurrent use, and all are
+// no-ops on a nil receiver — nil is the disabled state.
+type Collector struct {
+	start    time.Time
+	sink     Sink
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]PhaseStat
+}
+
+// New creates a collector. sink may be nil: counters and phases still
+// aggregate, but no events are constructed or emitted.
+func New(sink Sink) *Collector {
+	return &Collector{start: time.Now(), sink: sink, phases: map[string]PhaseStat{}}
+}
+
+// Tracing reports whether an event sink is attached. Hot loops use it to
+// skip event construction entirely when only counters are wanted.
+func (c *Collector) Tracing() bool { return c != nil && c.sink != nil }
+
+// Add adds n to a counter.
+func (c *Collector) Add(ctr Counter, n int64) {
+	if c == nil || ctr < 0 || ctr >= numCounters {
+		return
+	}
+	c.counters[ctr].Add(n)
+}
+
+// Inc adds one to a counter.
+func (c *Collector) Inc(ctr Counter) { c.Add(ctr, 1) }
+
+// Get returns a counter's current value (0 on a nil collector).
+func (c *Collector) Get(ctr Counter) int64 {
+	if c == nil || ctr < 0 || ctr >= numCounters {
+		return 0
+	}
+	return c.counters[ctr].Load()
+}
+
+// Emit sends one event to the sink, stamping the time offset. No-op when
+// disabled or when no sink is attached.
+func (c *Collector) Emit(kind EventKind, worker int, value float64, label string) {
+	if c == nil || c.sink == nil {
+		return
+	}
+	c.sink.Emit(Event{Kind: kind, T: time.Since(c.start), Worker: worker, Value: value, Label: label})
+}
+
+// Phase starts a named phase timer and returns its stop function; the
+// elapsed time folds into the phase's aggregate on stop. The nil
+// collector returns a no-op stop.
+func (c *Collector) Phase(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		c.mu.Lock()
+		st := c.phases[name]
+		st.Total += d
+		st.Count++
+		c.phases[name] = st
+		c.mu.Unlock()
+	}
+}
+
+// Counters returns the nonzero counters keyed by name.
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := map[string]int64{}
+	for i := Counter(0); i < numCounters; i++ {
+		if v := c.counters[i].Load(); v != 0 {
+			out[i.String()] = v
+		}
+	}
+	return out
+}
+
+// Phases returns a snapshot of the aggregated phase timers.
+func (c *Collector) Phases() map[string]PhaseStat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]PhaseStat, len(c.phases))
+	for k, v := range c.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Publish registers the collector's counters and phases under the given
+// expvar name (e.g. "sos.telemetry") so a -debug-addr HTTP endpoint can
+// export them. Publishing the same name twice panics (an expvar rule), so
+// callers publish once per process.
+func (c *Collector) Publish(name string) {
+	if c == nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return map[string]any{
+			"counters": c.Counters(),
+			"phases":   c.Phases(),
+		}
+	}))
+}

@@ -209,6 +209,11 @@ type Spec struct {
 	Memory bool
 	// NoOverlapIO enables the §5 no-I/O-module variant.
 	NoOverlapIO bool
+
+	// Telemetry, when non-nil, collects solver counters, phase timings, and
+	// (when its sink is set) trace events across the whole solve or sweep.
+	// Nil disables all instrumentation at negligible cost.
+	Telemetry *Telemetry
 }
 
 func (s *Spec) withDefaults() (Spec, error) {
@@ -274,7 +279,7 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		st := m.Stats
 		res.ModelStats = &st
-		design, sol, err := m.Solve(ctx, &milp.Options{TimeLimit: sp.Budget})
+		design, sol, err := m.Solve(ctx, &milp.Options{TimeLimit: sp.Budget, Telemetry: sp.Telemetry})
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +323,7 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		res.Gap = math.Inf(1)
 	default: // EngineAuto, EngineCombinatorial
 		eo := exact.Options{CostCap: sp.CostCap, Deadline: sp.Deadline,
-			TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO}
+			TimeLimit: sp.Budget, NoOverlapIO: sp.NoOverlapIO, Telemetry: sp.Telemetry}
 		if sp.Objective == MinCost {
 			eo.Objective = exact.MinCost
 		}
@@ -333,6 +338,11 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		res.Bound = r.Bound
 		res.Gap = r.Gap
 		res.Nodes = r.Nodes
+	}
+	if res.Status == StatusBudgetExhausted || res.Status == StatusCanceled {
+		// No incumbent and no proof: the optimality gap is unknown, which
+		// Result documents as +Inf (not 0, which would read as "proven").
+		res.Gap = math.Inf(1)
 	}
 	if res.Design != nil {
 		if err := res.Design.Validate(&schedule.ValidateOptions{NoOverlapIO: sp.NoOverlapIO}); err != nil {
@@ -374,6 +384,7 @@ func Frontier(ctx context.Context, spec Spec) ([]FrontierPoint, error) {
 func sweepOptions(sp Spec) pareto.Options {
 	opts := pareto.Options{
 		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
+		Telemetry: sp.Telemetry,
 	}
 	var first budget.Rung
 	switch sp.Engine {
@@ -387,7 +398,7 @@ func sweepOptions(sp Spec) pareto.Options {
 		first = budget.RungCombinatorial
 	}
 	if sp.SweepBudget > 0 {
-		opts.Governor = budget.New(sp.SweepBudget)
+		opts.Governor = budget.New(sp.SweepBudget).WithTelemetry(sp.Telemetry)
 	}
 	if sp.Anytime {
 		opts.Ladder = budget.DefaultLadder(first)

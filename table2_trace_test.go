@@ -1,0 +1,69 @@
+package sos
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/telemetry"
+)
+
+// TestTableIIMILPTraceConsistency pins the acceptance contract on the
+// paper's own workload: a traced Table II MILP solve (Example 1, cost cap
+// 14) must report event counts consistent with Solution.Nodes and
+// Solution.LPStats — one node_expand event per counted node, incumbent
+// events matching the counter, and LP warm/cold/fallback/iteration
+// counters equal to the solver's own ResolveStats.
+func TestTableIIMILPTraceConsistency(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{
+		Objective: model.MinMakespan, CostCap: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &telemetry.CountingSink{}
+	tel := telemetry.New(sink)
+	design, sol, err := m.Solve(context.Background(), &milp.Options{
+		TimeLimit: 2 * time.Minute, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal || design == nil || math.Abs(design.Makespan-2.5) > 1e-6 {
+		t.Fatalf("Table II cap-14 solve: status %v, design %v", sol.Status, design)
+	}
+
+	if got := tel.Get(telemetry.CtrNodesExpanded); got != int64(sol.Nodes) {
+		t.Errorf("nodes_expanded counter = %d, Solution.Nodes = %d", got, sol.Nodes)
+	}
+	if got := sink.Count(telemetry.EvNodeExpand); got != int64(sol.Nodes) {
+		t.Errorf("node_expand events = %d, Solution.Nodes = %d", got, sol.Nodes)
+	}
+	if c, e := tel.Get(telemetry.CtrIncumbents), sink.Count(telemetry.EvIncumbent); c != e || c < 1 {
+		t.Errorf("incumbents: counter %d, events %d (want equal, >= 1)", c, e)
+	}
+	if c, e := tel.Get(telemetry.CtrNodesPruned), sink.Count(telemetry.EvNodePrune); c != e {
+		t.Errorf("prunes: counter %d, events %d", c, e)
+	}
+	for _, chk := range []struct {
+		name string
+		ctr  telemetry.Counter
+		want int
+	}{
+		{"lp_warm", telemetry.CtrLPWarm, sol.LPStats.Warm},
+		{"lp_cold", telemetry.CtrLPCold, sol.LPStats.Cold},
+		{"lp_fallbacks", telemetry.CtrLPFallbacks, sol.LPStats.Fallbacks},
+		{"lp_dual_iters", telemetry.CtrLPDualIters, sol.LPStats.DualIters},
+	} {
+		if got := tel.Get(chk.ctr); got != int64(chk.want) {
+			t.Errorf("%s counter = %d, LPStats says %d", chk.name, got, chk.want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sos
+
+import (
+	"io"
+
+	"sos/internal/telemetry"
+)
+
+// Telemetry is the solver-observability collector: cheap atomic counters,
+// named phase timers, and an optional trace-event sink. Attach one via
+// Spec.Telemetry to see inside a solve; leave it nil (the default) for
+// provably negligible overhead — every instrumentation point is a single
+// nil-receiver check.
+type Telemetry = telemetry.Collector
+
+// TraceSink receives solver trace events when tracing is enabled.
+type TraceSink = telemetry.Sink
+
+// TraceEvent is one solver trace event (node expansion, prune, incumbent,
+// LP resolve, budget slice, ladder degradation, frontier point, ...).
+type TraceEvent = telemetry.Event
+
+// Trace sinks. CountingTraceSink tallies events per kind; RingTraceSink
+// retains the last N events; StreamTraceSink writes JSON lines.
+type (
+	CountingTraceSink = telemetry.CountingSink
+	RingTraceSink     = telemetry.RingSink
+	StreamTraceSink   = telemetry.StreamSink
+)
+
+// NewTelemetry creates a collector. sink may be nil: counters and phase
+// timers still work, only per-event tracing is disabled.
+func NewTelemetry(sink TraceSink) *Telemetry { return telemetry.New(sink) }
+
+// NewRingTraceSink creates a sink retaining the most recent n events.
+func NewRingTraceSink(n int) *RingTraceSink { return telemetry.NewRingSink(n) }
+
+// NewStreamTraceSink creates a sink streaming events to w as JSON lines.
+func NewStreamTraceSink(w io.Writer) *StreamTraceSink { return telemetry.NewStreamSink(w) }
