@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf fuzz-smoke lint
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep fuzz-smoke lint
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, and a one-iteration smoke of the headline benchmark.
@@ -38,6 +38,12 @@ bench:
 ## perf: machine-readable solver-throughput report (BENCH_<date>.json).
 perf:
 	$(GO) run ./cmd/sosbench -perf
+
+## perf-sweep: sweep-scaling report for the speculative-parallel Pareto
+## sweep (DESIGN.md §10) — Table II at 1/2/4 workers, frontier asserted
+## identical, written to BENCH_sweep.json.
+perf-sweep:
+	$(GO) run ./cmd/sosbench -perf-sweep
 
 ## fuzz-smoke: ~30s of coverage-guided fuzzing over the two parsing
 ## surfaces (spec files and task-graph JSON). The corpus under testdata/

@@ -97,6 +97,82 @@ func benchTable2(b *testing.B, opts *milp.Options) {
 	}
 }
 
+// --- Speculative-parallel sweep (DESIGN.md §10) ---
+
+// BenchmarkTable2SweepSerial is the sequential baseline of the
+// speculative-parallel comparison: the Table II MILP sweep (StartCap 14,
+// tuned search) solved one chain point at a time.
+func BenchmarkTable2SweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkTable2SweepParallel is the same sweep with four speculative
+// workers sharing the incremental model templates and the cross-point
+// incumbent pool. The frontier is asserted identical to the serial one
+// (Table II plus the uniprocessor point) on every iteration.
+func BenchmarkTable2SweepParallel(b *testing.B) { benchSweepWorkers(b, 4) }
+
+func benchSweepWorkers(b *testing.B, workers int) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
+			Engine:       pareto.EngineMILP,
+			MILP:         &milp.Options{TimeLimit: 10 * time.Minute, Branch: milp.BranchPseudoCost, Order: milp.BestFirst},
+			StartCap:     14,
+			SweepWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requireFrontier(b, pts, expts.Table2Full)
+	}
+}
+
+// BenchmarkSweepModelReuse measures the incremental model path the
+// parallel sweep uses: one template Build, then a SetCostCap clone and a
+// root-LP solve per Table II cap.
+func BenchmarkSweepModelReuse(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tpl, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range []float64{14, 13, 7, 5, 4} {
+			m, err := tpl.SetCostCap(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sol, err := m.Prob.Solve(nil)
+			if err != nil || sol.Status != lp.Optimal {
+				b.Fatalf("cap %g root LP: %v %v", c, err, sol.Status)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepModelRebuild is the pre-optimization counterpart of
+// BenchmarkSweepModelReuse: a from-scratch Build at every cap.
+func BenchmarkSweepModelRebuild(b *testing.B) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []float64{14, 13, 7, 5, 4} {
+			m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: c})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sol, err := m.Prob.Solve(nil)
+			if err != nil || sol.Status != lp.Optimal {
+				b.Fatalf("cap %g root LP: %v %v", c, err, sol.Status)
+			}
+		}
+	}
+}
+
 // BenchmarkNodeThroughput measures raw branch-and-bound node throughput on
 // the hardest Example 1 sweep point (cost cap 14, no heuristic incumbent),
 // reporting nodes explored per second and per solve alongside ns/op.

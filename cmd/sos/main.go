@@ -87,6 +87,7 @@ func run() error {
 		budgetFlag  = flag.Duration("budget", 5*time.Minute, "per-solve time budget (0 = unlimited)")
 		totalBudget = flag.Duration("total-budget", 0, "one wall-clock budget for a whole -frontier sweep (0 = unlimited)")
 		anytime     = flag.Bool("anytime", false, "degrade starved -frontier points down the MILP→combinatorial→heuristic ladder instead of stopping")
+		sweepWork   = flag.Int("sweep-workers", 1, "concurrent -frontier point solvers; >1 enables the speculative-parallel sweep (same frontier, overlapped solves)")
 		frontier    = flag.Bool("frontier", false, "trace the whole non-inferior cost/performance set")
 		gantt       = flag.Bool("gantt", true, "print the schedule as a Gantt chart")
 		trace       = flag.Bool("trace", false, "print the simulated event trace")
@@ -136,16 +137,17 @@ func run() error {
 	}
 
 	spec := sos.Spec{
-		Graph:       g,
-		Library:     lib,
-		Pool:        pool,
-		CostCap:     *costCap,
-		Deadline:    *deadline,
-		Budget:      *budgetFlag,
-		SweepBudget: *totalBudget,
-		Anytime:     *anytime,
-		Memory:      *memory,
-		NoOverlapIO: *noOverlap,
+		Graph:        g,
+		Library:      lib,
+		Pool:         pool,
+		CostCap:      *costCap,
+		Deadline:     *deadline,
+		Budget:       *budgetFlag,
+		SweepBudget:  *totalBudget,
+		Anytime:      *anytime,
+		SweepWorkers: *sweepWork,
+		Memory:       *memory,
+		NoOverlapIO:  *noOverlap,
 	}
 	switch *topoName {
 	case "p2p":

@@ -47,11 +47,12 @@ import (
 )
 
 var (
-	engineFlag = flag.String("engine", "combinatorial", "frontier engine: combinatorial or milp")
-	budget     = flag.Duration("budget", 5*time.Minute, "per-solve time budget")
-	milpVerify = flag.Bool("milp-verify", false, "cross-check each frontier point with a budgeted MILP solve")
-	pprofPath  = flag.String("pprof", "", "write a CPU profile of the run to the given path")
-	debugAddr  = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address during the run")
+	engineFlag   = flag.String("engine", "combinatorial", "frontier engine: combinatorial or milp")
+	budget       = flag.Duration("budget", 5*time.Minute, "per-solve time budget")
+	sweepWorkers = flag.Int("sweep-workers", 1, "concurrent frontier-point solvers; >1 enables the speculative-parallel sweep (DESIGN.md §10)")
+	milpVerify   = flag.Bool("milp-verify", false, "cross-check each frontier point with a budgeted MILP solve")
+	pprofPath    = flag.String("pprof", "", "write a CPU profile of the run to the given path")
+	debugAddr    = flag.String("debug-addr", "", "serve expvar and net/http/pprof on this address during the run")
 )
 
 func main() {
@@ -74,6 +75,7 @@ func main() {
 		ring    = flag.Bool("ring", false, "")
 		scaling = flag.Bool("scaling", false, "beyond-paper: engine runtime vs problem size")
 		perf    = flag.Bool("perf", false, "measure solver throughput and write BENCH_<date>.json")
+		perfSw  = flag.Bool("perf-sweep", false, "measure Table II sweep scaling over worker counts and write BENCH_sweep.json")
 	)
 	flag.Parse()
 
@@ -124,6 +126,7 @@ func main() {
 	run(*ring, RingStudy)
 	run(*scaling, ScalingStudy)
 	run(*perf, Perf)
+	run(*perfSw, PerfSweep)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -230,7 +233,7 @@ func Fig2() error {
 // before the error propagates to the exit point.
 func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, paper []expts.ParetoPoint) error {
 	fmt.Printf("== %s ==\n", title)
-	opts := pareto.Options{}
+	opts := pareto.Options{SweepWorkers: *sweepWorkers}
 	switch *engineFlag {
 	case "milp":
 		opts.Engine = pareto.EngineMILP
@@ -261,7 +264,11 @@ func frontierTable(title string, g *taskgraph.Graph, pool *arch.Instances, topo 
 		}
 		fmt.Printf("| %d | %g | %g | %s | %s |\n", i+1, p.Cost(), p.Perf(), paperCell, match)
 	}
-	fmt.Printf("sweep: %d points in %v (%s engine)\n", len(pts), elapsed.Round(time.Millisecond), *engineFlag)
+	workersNote := ""
+	if *sweepWorkers > 1 {
+		workersNote = fmt.Sprintf(", %d sweep workers", *sweepWorkers)
+	}
+	fmt.Printf("sweep: %d points in %v (%s engine%s)\n", len(pts), elapsed.Round(time.Millisecond), *engineFlag, workersNote)
 
 	if *milpVerify {
 		if err := milpVerifyFrontier(g, pool, topo, pts); err != nil {

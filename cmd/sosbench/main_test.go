@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -53,6 +55,60 @@ func TestBenchTable4And5(t *testing.T) {
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestBenchSweepWorkers drives the -sweep-workers flag end to end: the
+// speculative-parallel Table II sweep must reproduce every paper row.
+func TestBenchSweepWorkers(t *testing.T) {
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-table2", "-sweep-workers", "4", "-budget", "3m").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"| 1 | 14 | 2.5 | (14, 2.5) | yes |",
+		"4 sweep workers",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "| NO |") {
+		t.Errorf("a frontier point mismatched the paper:\n%s", s)
+	}
+}
+
+// TestBenchPerfSweep smokes the -perf-sweep report: it must measure
+// workers 1/2/4, find the full 5-point frontier at each, and write a
+// parseable BENCH_sweep.json.
+func TestBenchPerfSweep(t *testing.T) {
+	bin := buildBench(t)
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-perf-sweep", "-budget", "3m")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_sweep.json"))
+	if err != nil {
+		t.Fatalf("report not written: %v\n%s", err, out)
+	}
+	var rep sweepScalingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal report: %v\n%s", err, data)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("report has %d results, want 3:\n%s", len(rep.Results), data)
+	}
+	for i, workers := range []int{1, 2, 4} {
+		r := rep.Results[i]
+		if r.Workers != workers || r.Points != 5 || r.NsPerOp <= 0 {
+			t.Errorf("result %d: workers=%d points=%d ns/op=%d, want workers=%d points=5 ns/op>0",
+				i, r.Workers, r.Points, r.NsPerOp, workers)
 		}
 	}
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/pareto"
+	"sos/internal/telemetry"
+)
+
+// sweepScalingResult is one row of BENCH_sweep.json: the Table II MILP
+// sweep measured at a fixed sweep-worker count. Speculation counters and
+// model build/clone counts are totals over all Iterations.
+type sweepScalingResult struct {
+	Workers        int     `json:"workers"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Points         int     `json:"points"`
+	Speedup        float64 `json:"speedup_vs_serial"`
+	ModelBuilds    int64   `json:"model_builds"`
+	ModelClones    int64   `json:"model_clones"`
+	SpecHits       int64   `json:"speculative_hits"`
+	SpecWasted     int64   `json:"speculative_wasted"`
+	SpecRetargeted int64   `json:"speculative_retargeted"`
+	Iterations     int     `json:"iterations"`
+}
+
+type sweepScalingReport struct {
+	Date      string               `json:"date"`
+	GoVersion string               `json:"go_version"`
+	NumCPU    int                  `json:"num_cpu"`
+	Workload  string               `json:"workload"`
+	Results   []sweepScalingResult `json:"results"`
+}
+
+// PerfSweep measures the speculative-parallel Pareto sweep (DESIGN.md
+// §10) on the Table II workload at 1, 2, and 4 workers, asserts every
+// configuration returns the identical frontier, and writes the scaling
+// report to BENCH_sweep.json (a fixed name, so CI can upload it as an
+// artifact).
+func PerfSweep() error {
+	fmt.Println("== Sweep scaling report (Table II, MILP engine) ==")
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	want := make([][2]float64, len(expts.Table2Full))
+	for i, pt := range expts.Table2Full {
+		want[i] = [2]float64{pt.Cost, pt.Perf}
+	}
+
+	report := sweepScalingReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workload:  "example1-p2p-startcap14",
+	}
+
+	var benchErr error
+	for _, workers := range []int{1, 2, 4} {
+		tel := telemetry.New(nil)
+		points := 0
+		b0, c0 := model.BuildCount(), model.CloneCount()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pts, err := pareto.Sweep(context.Background(), g, pool, arch.PointToPoint{}, pareto.Options{
+					Engine:       pareto.EngineMILP,
+					MILP:         &milp.Options{TimeLimit: *budget, Branch: milp.BranchPseudoCost, Order: milp.BestFirst},
+					StartCap:     14,
+					SweepWorkers: workers,
+					Telemetry:    tel,
+				})
+				if err != nil {
+					if benchErr == nil {
+						benchErr = fmt.Errorf("sweep at %d workers: %w", workers, err)
+					}
+					return
+				}
+				if err := pareto.FrontierEquals(pts, want, 1e-6); err != nil {
+					if benchErr == nil {
+						benchErr = fmt.Errorf("sweep at %d workers diverged from Table II: %w", workers, err)
+					}
+					return
+				}
+				points = len(pts)
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		snap := tel.Counters()
+		res := sweepScalingResult{
+			Workers:        workers,
+			NsPerOp:        r.NsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			Points:         points,
+			ModelBuilds:    model.BuildCount() - b0,
+			ModelClones:    model.CloneCount() - c0,
+			SpecHits:       snap["speculative_hits"],
+			SpecWasted:     snap["speculative_wasted"],
+			SpecRetargeted: snap["speculative_retargeted"],
+			Iterations:     r.N,
+		}
+		if len(report.Results) > 0 && res.NsPerOp > 0 {
+			res.Speedup = float64(report.Results[0].NsPerOp) / float64(res.NsPerOp)
+		} else if res.NsPerOp > 0 {
+			res.Speedup = 1
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("  workers=%d %12d ns/op %10d B/op %8d allocs/op  %d points  %.2fx  spec hit/wasted/retgt %d/%d/%d\n",
+			workers, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Points, res.Speedup,
+			res.SpecHits, res.SpecWasted, res.SpecRetargeted)
+	}
+
+	f, err := os.Create("BENCH_sweep.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_sweep.json")
+	fmt.Println()
+	return nil
+}

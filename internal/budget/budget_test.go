@@ -10,8 +10,8 @@ import (
 // fakeClock advances only when told, making slice arithmetic exact.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time                { return c.t }
-func (c *fakeClock) advance(d time.Duration)       { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newGoverned(total time.Duration) (*Governor, *fakeClock) {
 	c := &fakeClock{t: time.Unix(1000, 0)}
 	g := &Governor{frac: defaultFrac, floor: defaultFloor, now: c.now}

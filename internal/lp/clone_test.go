@@ -1,0 +1,104 @@
+package lp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// cloneFixture builds min x+y s.t. x+y >= 1, x+2y <= cap, 0 <= x,y <= 3.
+func cloneFixture(capRhs float64) (*Problem, int) {
+	p := NewProblem("clone-fixture")
+	x := p.AddCol("x", 0, 3, 1)
+	y := p.AddCol("y", 0, 3, 1)
+	p.AddRow("lb", Ge, 1, Term{Col: x, Coef: 1}, Term{Col: y, Coef: 1})
+	capRow := p.AddRow("cap", Le, capRhs, Term{Col: x, Coef: 1}, Term{Col: y, Coef: 2})
+	return p, capRow
+}
+
+// TestCloneIsIndependent checks that bound, objective, and Rhs mutations on
+// a clone leave the original untouched (and vice versa).
+func TestCloneIsIndependent(t *testing.T) {
+	p, capRow := cloneFixture(10)
+	q := p.Clone()
+	q.SetRowRhs(capRow, 2)
+	q.SetBounds(0, 1, 2)
+	q.SetObj(1, 5)
+	if got := p.Row(capRow).Rhs; got != 10 {
+		t.Errorf("original Rhs mutated: %g", got)
+	}
+	if c := p.Col(0); c.Lb != 0 || c.Ub != 3 {
+		t.Errorf("original bounds mutated: [%g,%g]", c.Lb, c.Ub)
+	}
+	if c := p.Col(1); c.Obj != 1 {
+		t.Errorf("original objective mutated: %g", c.Obj)
+	}
+	if got := q.Row(capRow).Rhs; got != 2 {
+		t.Errorf("clone Rhs = %g, want 2", got)
+	}
+	p.SetRowRhs(capRow, 7)
+	if got := q.Row(capRow).Rhs; got != 2 {
+		t.Errorf("clone saw original's mutation: %g", got)
+	}
+}
+
+// TestCloneSetRowRhsEqualsFreshBuild checks that a clone with a retargeted
+// Rhs solves identically to a problem built with that Rhs from scratch.
+func TestCloneSetRowRhsEqualsFreshBuild(t *testing.T) {
+	base, capRow := cloneFixture(10)
+	for _, rhs := range []float64{1, 2, 4} {
+		clone := base.Clone()
+		clone.SetRowRhs(capRow, rhs)
+		fresh, _ := cloneFixture(rhs)
+		cs, err := clone.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fresh.Solve(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Status != fs.Status || math.Abs(cs.Obj-fs.Obj) > 1e-9 {
+			t.Errorf("rhs %g: clone (%v, %g) vs fresh (%v, %g)", rhs, cs.Status, cs.Obj, fs.Status, fs.Obj)
+		}
+	}
+}
+
+// TestCloneConcurrentSolves solves many clones with distinct Rhs values in
+// parallel (meaningful under -race: clones must share no mutable state).
+func TestCloneConcurrentSolves(t *testing.T) {
+	base, capRow := cloneFixture(10)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		rhs := 1 + float64(i)
+		clone := base.Clone()
+		clone.SetRowRhs(capRow, rhs)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := clone.Solve(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if sol.Status != Optimal || math.Abs(sol.Obj-1) > 1e-9 {
+				errs <- errFromSolve(sol.Status, sol.Obj)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type solveErr struct {
+	status Status
+	obj    float64
+}
+
+func (e solveErr) Error() string { return "unexpected solve: " + e.status.String() }
+
+func errFromSolve(s Status, obj float64) error { return solveErr{s, obj} }

@@ -130,6 +130,25 @@ func mergeTerms(terms []Term) []Term {
 	return out
 }
 
+// SetRowRhs replaces the right-hand side of row i, leaving its sense and
+// coefficients untouched. This is the mutation an incremental model layer
+// needs to retarget a cap or deadline row without rebuilding the problem.
+func (p *Problem) SetRowRhs(i int, rhs float64) { p.rows[i].Rhs = rhs }
+
+// Clone returns an independent copy of the problem: the column and row
+// headers are owned by the clone, so bound, objective, and Rhs mutations on
+// either side are invisible to the other. The Term slices are shared —
+// they are immutable after AddRow (mergeTerms always allocates) — which
+// keeps a clone O(rows+cols) instead of O(nonzeros). Solving never mutates
+// a Problem, so distinct clones may be solved concurrently.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		Name: p.Name,
+		cols: append([]Col(nil), p.cols...),
+		rows: append([]Row(nil), p.rows...),
+	}
+}
+
 // NumCols returns the number of variables.
 func (p *Problem) NumCols() int { return len(p.cols) }
 

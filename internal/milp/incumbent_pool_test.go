@@ -1,0 +1,90 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"sos/internal/lp"
+)
+
+// poolKnapsack builds the TestKnapsack instance: max 10a+13b+7c subject to
+// 3a+4b+2c <= capRhs, binary. At capRhs=6 the optimum is (0,1,1) = -20.
+func poolKnapsack(capRhs float64) (*lp.Problem, []lp.ColID) {
+	p := lp.NewProblem("pool-knap")
+	a := binCol(p, "a", -10)
+	b := binCol(p, "b", -13)
+	c := binCol(p, "c", -7)
+	p.AddRow("cap", lp.Le, capRhs,
+		lp.Term{Col: a, Coef: 3}, lp.Term{Col: b, Coef: 4}, lp.Term{Col: c, Coef: 2})
+	return p, []lp.ColID{a, b, c}
+}
+
+// TestIncumbentPoolSeedsBest checks that the best feasible pool candidate
+// becomes the initial bound and the solve still returns the true optimum.
+func TestIncumbentPoolSeedsBest(t *testing.T) {
+	p, cols := poolKnapsack(6)
+	pool := [][]float64{
+		{1, 0, 0},       // feasible, obj -10
+		{0, 1, 1},       // feasible, obj -20 (the optimum)
+		{1, 1, 1},       // violates the cap row (9 > 6) — must be rejected
+		{0, 0.5, 1},     // fractional b — must be rejected
+		{0, 1},          // wrong length — must be rejected
+		{2, 0, 0},       // violates the upper bound on a — must be rejected
+		{0, 1, 1, 0, 0}, // wrong length — must be rejected
+	}
+	sol := solveOK(t, New(p, cols), &Options{IncumbentPool: pool})
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-20)) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal -20", sol.Status, sol.Obj)
+	}
+}
+
+// TestIncumbentPoolAllInfeasible checks that a pool of only-infeasible
+// candidates seeds nothing and the search still proves the optimum.
+func TestIncumbentPoolAllInfeasible(t *testing.T) {
+	p, cols := poolKnapsack(6)
+	pool := [][]float64{{1, 1, 1}, {1, 1, 0}}
+	sol := solveOK(t, New(p, cols), &Options{IncumbentPool: pool})
+	if sol.Status != Optimal || math.Abs(sol.Obj-(-20)) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal -20", sol.Status, sol.Obj)
+	}
+}
+
+// TestIncumbentPoolCrossCap mirrors the sweep's use: the same candidate
+// pool is offered at a loose cap (where a rich design is feasible) and a
+// tight cap (where only the cheap one survives the row check). Both solves
+// must still return their caps' true optima.
+func TestIncumbentPoolCrossCap(t *testing.T) {
+	rich := []float64{0, 1, 1}  // weight 6, obj -20
+	cheap := []float64{0, 0, 1} // weight 2, obj -7
+	pool := [][]float64{rich, cheap}
+	for _, tc := range []struct {
+		capRhs  float64
+		wantObj float64
+	}{
+		{6, -20}, // rich is feasible and optimal
+		{2, -7},  // rich violates the cap; cheap seeds and is optimal
+		{5, -17}, // neither candidate is optimal (a=1,c=1); search must improve on cheap
+	} {
+		p, cols := poolKnapsack(tc.capRhs)
+		sol := solveOK(t, New(p, cols), &Options{IncumbentPool: pool})
+		if sol.Status != Optimal || math.Abs(sol.Obj-tc.wantObj) > 1e-6 {
+			t.Errorf("cap %g: status=%v obj=%g, want optimal %g",
+				tc.capRhs, sol.Status, sol.Obj, tc.wantObj)
+		}
+	}
+}
+
+// TestIncumbentPoolBeatsWorseIncumbent checks precedence: a feasible pool
+// candidate better than the trusted Incumbent replaces it, and a worse one
+// does not.
+func TestIncumbentPoolBeatsWorseIncumbent(t *testing.T) {
+	p, cols := poolKnapsack(6)
+	sol := solveOK(t, New(p, cols), &Options{
+		Incumbent:     []float64{1, 0, 0}, // obj -10
+		IncumbentPool: [][]float64{{0, 1, 1}},
+		MaxNodes:      1, // the seed must already be the bound at the root
+	})
+	if math.Abs(sol.Obj-(-20)) > 1e-6 {
+		t.Fatalf("obj = %g, want -20 from the pool seed", sol.Obj)
+	}
+}

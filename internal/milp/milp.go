@@ -106,6 +106,13 @@ type Options struct {
 	// used as the initial upper bound. Its objective is recomputed from
 	// the problem; it is trusted to be feasible.
 	Incumbent []float64
+	// IncumbentPool provides additional candidate warm starts that are
+	// NOT trusted: each is checked against the problem's rows, bounds,
+	// and integrality before use, and the best feasible one (if it beats
+	// Incumbent) becomes the initial upper bound. Sweeps use this to
+	// share designs across cost caps — a design found at one cap is
+	// feasible at every looser cap and silently rejected at tighter ones.
+	IncumbentPool [][]float64
 	// LP passes options through to the LP relaxation solves.
 	LP *lp.Options
 	// OnIncumbent, when non-nil, is called with each strictly improving
@@ -610,6 +617,15 @@ func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
 		st.bestX = append([]float64(nil), opts.Incumbent...)
 		st.bestBits.Store(math.Float64bits(s.objOf(opts.Incumbent)))
 	}
+	for _, cand := range opts.IncumbentPool {
+		if len(cand) != s.prob.NumCols() || !s.checkFeasible(cand, st.tol) {
+			continue
+		}
+		if obj := s.objOf(cand); obj < st.best() {
+			st.bestX = append(st.bestX[:0], cand...)
+			st.bestBits.Store(math.Float64bits(obj))
+		}
+	}
 
 	if opts.Workers > 1 {
 		return s.solveParallel(st)
@@ -664,6 +680,47 @@ func (s *Solver) roundIntegers(x []float64, tol float64) []float64 {
 		out[c] = math.Round(out[c])
 	}
 	return out
+}
+
+// checkFeasible reports whether x satisfies every row (within a tolerance
+// scaled by the row's magnitude), every column bound, and integrality on
+// the integer columns. Used to vet untrusted IncumbentPool candidates.
+func (s *Solver) checkFeasible(x []float64, tol float64) bool {
+	const rowTol = 1e-6
+	for j := 0; j < s.prob.NumCols(); j++ {
+		c := s.prob.Col(lp.ColID(j))
+		if x[j] < c.Lb-rowTol || x[j] > c.Ub+rowTol {
+			return false
+		}
+	}
+	for _, c := range s.integer {
+		if math.Abs(x[c]-math.Round(x[c])) > tol {
+			return false
+		}
+	}
+	for i := 0; i < s.prob.NumRows(); i++ {
+		r := s.prob.Row(i)
+		act := 0.0
+		for _, t := range r.Terms {
+			act += t.Coef * x[t.Col]
+		}
+		eps := rowTol * math.Max(1, math.Abs(r.Rhs))
+		switch r.Sense {
+		case lp.Le:
+			if act > r.Rhs+eps {
+				return false
+			}
+		case lp.Ge:
+			if act < r.Rhs-eps {
+				return false
+			}
+		default:
+			if math.Abs(act-r.Rhs) > eps {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // objOf evaluates the problem objective at x.

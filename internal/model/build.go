@@ -46,7 +46,11 @@ func Build(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Op
 		Pi:    map[piKey]lp.ColID{},
 		Psi:   map[psiKey]lp.ColID{},
 		Theta: map[pairKey]lp.ColID{},
+
+		capRow:      -1,
+		deadlineRow: -1,
 	}
+	buildCount.Add(1)
 	m.TM = opts.BigM
 	if m.TM <= 0 {
 		m.TM = BigM(g, pool, topo)
@@ -734,13 +738,13 @@ func (m *Model) addObjective() {
 	case MinMakespan:
 		m.Prob.SetObj(m.TF, 1)
 		if m.Opts.CostCap > 0 {
-			m.Prob.AddRow("cost-cap", lp.Le, m.Opts.CostCap, m.costTerms()...)
+			m.capRow = m.Prob.AddRow("cost-cap", lp.Le, m.Opts.CostCap, m.costTerms()...)
 		}
 	case MinCost:
 		for _, t := range m.costTerms() {
 			m.Prob.SetObj(t.Col, t.Coef)
 		}
-		m.Prob.AddRow("deadline", lp.Le, m.Opts.Deadline, lp.Term{Col: m.TF, Coef: 1})
+		m.deadlineRow = m.Prob.AddRow("deadline", lp.Le, m.Opts.Deadline, lp.Term{Col: m.TF, Coef: 1})
 	}
 }
 

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The incremental API exists for frontier sweeps, which re-solve the same
+// model dozens of times with only the cost cap (or deadline) changed. A
+// full Build re-enumerates every conflict combo and re-tightens every
+// bound at every point; SetCostCap/SetDeadline instead clone a template
+// model built once per sweep and rewrite the single retargeted row. The
+// clone shares the template's (read-only) column maps and branch set and
+// owns an lp.Problem.Clone, so distinct clones are safe to solve
+// concurrently.
+//
+// buildCount/cloneCount are process-wide counters the sweep benchmarks and
+// amortization tests use to verify "one Build per sweep, one clone per
+// point" without threading a collector through every layer.
+var (
+	buildCount atomic.Int64
+	cloneCount atomic.Int64
+)
+
+// BuildCount returns the number of full model Builds performed by this
+// process. Tests diff it around a sweep to assert build amortization.
+func BuildCount() int64 { return buildCount.Load() }
+
+// CloneCount returns the number of incremental model clones (SetCostCap /
+// SetDeadline calls) performed by this process.
+func CloneCount() int64 { return cloneCount.Load() }
+
+// MaxCost returns a finite upper bound on total system cost: every
+// processor and every modeled link selected, plus (with the memory
+// extension) memory for every subtask. The cost expression can never
+// exceed it — each β/χ is at most 1 and the memory-sizing rows force
+// Σ_d M_d = Σ_s Mem(s) — so a cost-cap row with this Rhs is non-binding,
+// which is how SetCostCap encodes "uncapped" without removing the row.
+func (m *Model) MaxCost() float64 {
+	lib := m.Pool.Library()
+	total := 0.0
+	for _, p := range m.Pool.Procs() {
+		total += m.Pool.Cost(p.ID)
+	}
+	for l := range m.Chi {
+		total += m.Topo.LinkCost(lib, l)
+	}
+	if m.Opts.Memory && lib.MemCostPerUnit > 0 {
+		for _, s := range m.Graph.Subtasks() {
+			total += lib.MemCostPerUnit * s.Mem
+		}
+	}
+	return total
+}
+
+// clone returns a Model sharing every index map with m (they are read-only
+// after Build) over a cloned lp.Problem, so row/bound mutations and solves
+// on the clone never touch the template.
+func (m *Model) clone() *Model {
+	cloneCount.Add(1)
+	c := *m
+	c.Prob = m.Prob.Clone()
+	return &c
+}
+
+// SetCostCap returns a clone of the model whose cost-cap row is retargeted
+// to costCap. The model must be a MinMakespan build with the cap row
+// present (CostCap > 0 at Build time — a sweep template is built with any
+// positive placeholder cap). costCap <= 0 means uncapped: the row's Rhs
+// becomes MaxCost(), which no design can violate. Everything else — bound
+// tightening, big-M, conflict rows — is cap-independent and reused as
+// built.
+func (m *Model) SetCostCap(costCap float64) (*Model, error) {
+	if m.Opts.Objective != MinMakespan {
+		return nil, fmt.Errorf("model: SetCostCap on a %v build", m.Opts.Objective)
+	}
+	if m.capRow < 0 {
+		return nil, fmt.Errorf("model: SetCostCap needs a template built with CostCap > 0")
+	}
+	c := m.clone()
+	c.Opts.CostCap = costCap
+	rhs := costCap
+	if costCap <= 0 {
+		rhs = m.MaxCost()
+	}
+	c.Prob.SetRowRhs(c.capRow, rhs)
+	return c, nil
+}
+
+// SetDeadline returns a clone of the model whose deadline row is
+// retargeted to deadline. The model must be a MinCost build (those always
+// carry the deadline row). deadline must be positive.
+func (m *Model) SetDeadline(deadline float64) (*Model, error) {
+	if m.Opts.Objective != MinCost {
+		return nil, fmt.Errorf("model: SetDeadline on a %v build", m.Opts.Objective)
+	}
+	if m.deadlineRow < 0 {
+		return nil, fmt.Errorf("model: SetDeadline needs a MinCost template")
+	}
+	if deadline <= 0 {
+		return nil, fmt.Errorf("model: SetDeadline requires a positive deadline, got %g", deadline)
+	}
+	c := m.clone()
+	c.Opts.Deadline = deadline
+	c.Prob.SetRowRhs(c.deadlineRow, deadline)
+	return c, nil
+}

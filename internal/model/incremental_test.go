@@ -1,0 +1,329 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/lp"
+	"sos/internal/milp"
+	"sos/internal/taskgraph"
+)
+
+type incrWorkload struct {
+	name string
+	g    *taskgraph.Graph
+	pool *arch.Instances
+	topo arch.Topology
+	caps []float64 // the table frontier costs this workload is swept over
+}
+
+func incrWorkloads() []incrWorkload {
+	g1, lib1 := expts.Example1()
+	g2, lib2 := expts.Example2()
+	return []incrWorkload{
+		{"example1-p2p", g1, expts.Example1Pool(lib1), arch.PointToPoint{}, []float64{14, 13, 7, 5, 4}},
+		{"example2-p2p", g2, expts.Example2Pool(lib2), arch.PointToPoint{}, []float64{15, 12, 8, 7, 5}},
+		{"example2-bus", g2, expts.Example2Pool(lib2), arch.Bus{}, []float64{10, 6, 5}},
+	}
+}
+
+// canonRows renders each row as a canonical string (sense, Rhs, sorted
+// terms — names excluded, since conflict-combo indices in names depend on
+// map iteration order) and returns the sorted multiset.
+func canonRows(p *lp.Problem) []string {
+	out := make([]string, 0, p.NumRows())
+	for i := 0; i < p.NumRows(); i++ {
+		r := p.Row(i)
+		terms := append([]lp.Term(nil), r.Terms...)
+		sort.Slice(terms, func(a, b int) bool { return terms[a].Col < terms[b].Col })
+		s := fmt.Sprintf("%v rhs=%.12g", r.Sense, r.Rhs)
+		for _, t := range terms {
+			s += fmt.Sprintf(" %+.12g*x%d", t.Coef, t.Col)
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// probEqual reports whether two problems are structurally identical: same
+// columns (names, bounds, objective) in the same order, and the same
+// multiset of rows. Row order is compared as a multiset because the build
+// emits exclusion rows by iterating Go maps, so two fresh builds agree
+// only up to row permutation.
+func probEqual(t *testing.T, a, b *lp.Problem) bool {
+	t.Helper()
+	if a.NumCols() != b.NumCols() || a.NumRows() != b.NumRows() {
+		t.Logf("size mismatch: %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+		return false
+	}
+	for j := 0; j < a.NumCols(); j++ {
+		ca, cb := a.Col(lp.ColID(j)), b.Col(lp.ColID(j))
+		if ca != cb {
+			t.Logf("col %d: %+v vs %+v", j, ca, cb)
+			return false
+		}
+	}
+	ra, rb := canonRows(a), canonRows(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Logf("row multiset diverges at %d:\n  %s\n  %s", i, ra[i], rb[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestSetCostCapMatchesFreshBuild is the structural backbone of the sweep
+// model-reuse optimization: a template built once and retargeted with
+// SetCostCap must be row-for-row identical to a model built from scratch
+// at that cap, on all three table workloads.
+func TestSetCostCapMatchesFreshBuild(t *testing.T) {
+	for _, w := range incrWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			tpl, err := Build(w.g, w.pool, w.topo, Options{Objective: MinMakespan, CostCap: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range w.caps {
+				clone, err := tpl.SetCostCap(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := Build(w.g, w.pool, w.topo, Options{Objective: MinMakespan, CostCap: c})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !probEqual(t, clone.Prob, fresh.Prob) {
+					t.Errorf("cap %g: clone structurally differs from fresh build", c)
+				}
+				if clone.Opts.CostCap != c {
+					t.Errorf("cap %g: clone.Opts.CostCap = %g", c, clone.Opts.CostCap)
+				}
+			}
+			// The template itself must be untouched by the retargeting.
+			if got := tpl.Prob.Row(tpl.capRow).Rhs; got != 1 {
+				t.Errorf("template cap Rhs mutated to %g", got)
+			}
+		})
+	}
+}
+
+// TestSetCostCapSolveEqualsFreshBuild solves clone and fresh build at each
+// Table II cap on Example 1 (small enough for exhaustive MILP in test
+// time) and checks the optima agree.
+func TestSetCostCapSolveEqualsFreshBuild(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	tpl, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &milp.Options{TimeLimit: 60 * time.Second}
+	for _, c := range []float64{14, 13, 7, 5, 4} {
+		clone, err := tpl.SetCostCap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, cs, err := clone.Solve(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("cap %g clone: %v", c, err)
+		}
+		fd, fs, err := fresh.Solve(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("cap %g fresh: %v", c, err)
+		}
+		if cs.Status != fs.Status || math.Abs(cs.Obj-fs.Obj) > 1e-6 {
+			t.Errorf("cap %g: clone (%v, %g) vs fresh (%v, %g)", c, cs.Status, cs.Obj, fs.Status, fs.Obj)
+		}
+		if cd == nil || fd == nil {
+			t.Fatalf("cap %g: missing design", c)
+		}
+		if math.Abs(cd.Makespan-fd.Makespan) > 1e-6 || math.Abs(cd.Cost-fd.Cost) > 1e-6 {
+			t.Errorf("cap %g: clone design (%g,%g) vs fresh (%g,%g)",
+				c, cd.Cost, cd.Makespan, fd.Cost, fd.Makespan)
+		}
+	}
+}
+
+// TestSetCostCapRootLPEqualsFreshBuild compares only the root LP
+// relaxations on Example 2 (full MILP solves are too slow for every cap in
+// a unit test) — the relaxation objective is a sensitive fingerprint of
+// the whole row/bound system.
+func TestSetCostCapRootLPEqualsFreshBuild(t *testing.T) {
+	for _, w := range incrWorkloads()[1:] {
+		t.Run(w.name, func(t *testing.T) {
+			tpl, err := Build(w.g, w.pool, w.topo, Options{Objective: MinMakespan, CostCap: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range w.caps {
+				clone, err := tpl.SetCostCap(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := Build(w.g, w.pool, w.topo, Options{Objective: MinMakespan, CostCap: c})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs, err := clone.Prob.Solve(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, err := fresh.Prob.Solve(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cs.Status != fs.Status || math.Abs(cs.Obj-fs.Obj) > 1e-9 {
+					t.Errorf("cap %g: root LP clone (%v, %g) vs fresh (%v, %g)",
+						c, cs.Status, cs.Obj, fs.Status, fs.Obj)
+				}
+			}
+		})
+	}
+}
+
+// TestSetCostCapUncapped checks the cap<=0 encoding: the row stays but its
+// Rhs becomes MaxCost(), and the solve matches a genuinely uncapped build.
+func TestSetCostCapUncapped(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	tpl, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := tpl.SetCostCap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clone.Prob.Row(clone.capRow).Rhs, tpl.MaxCost(); got != want {
+		t.Fatalf("uncapped Rhs = %g, want MaxCost %g", got, want)
+	}
+	fresh, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &milp.Options{TimeLimit: 60 * time.Second}
+	cd, cs, err := clone.Solve(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, fs, err := fresh.Solve(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Status != fs.Status || math.Abs(cs.Obj-fs.Obj) > 1e-6 {
+		t.Fatalf("uncapped: clone (%v, %g) vs fresh (%v, %g)", cs.Status, cs.Obj, fs.Status, fs.Obj)
+	}
+	if math.Abs(cd.Makespan-fd.Makespan) > 1e-6 {
+		t.Fatalf("uncapped: clone makespan %g vs fresh %g", cd.Makespan, fd.Makespan)
+	}
+}
+
+// TestSetDeadlineMatchesFreshBuild is the MinCost-side analogue: a
+// deadline-retargeted clone must match a fresh MinCost build structurally
+// and on the solved optimum.
+func TestSetDeadlineMatchesFreshBuild(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	tpl, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinCost, Deadline: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &milp.Options{TimeLimit: 60 * time.Second}
+	for _, dl := range []float64{2.5, 3, 4, 7, 17} {
+		clone, err := tpl.SetDeadline(dl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinCost, Deadline: dl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !probEqual(t, clone.Prob, fresh.Prob) {
+			t.Errorf("deadline %g: clone structurally differs from fresh build", dl)
+		}
+		cd, cs, err := clone.Solve(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("deadline %g clone: %v", dl, err)
+		}
+		fd, fs, err := fresh.Solve(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("deadline %g fresh: %v", dl, err)
+		}
+		if cs.Status != fs.Status || math.Abs(cs.Obj-fs.Obj) > 1e-6 {
+			t.Errorf("deadline %g: clone (%v, %g) vs fresh (%v, %g)", dl, cs.Status, cs.Obj, fs.Status, fs.Obj)
+		}
+		if cd != nil && fd != nil && math.Abs(cd.Cost-fd.Cost) > 1e-6 {
+			t.Errorf("deadline %g: clone cost %g vs fresh %g", dl, cd.Cost, fd.Cost)
+		}
+	}
+}
+
+// TestIncrementalMisuse checks the error paths: retargeting the wrong
+// objective, and nonpositive deadlines.
+func TestIncrementalMisuse(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	perf, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinCost, Deadline: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perf.SetDeadline(3); err == nil {
+		t.Error("SetDeadline on a MinMakespan build: want error")
+	}
+	if _, err := cost.SetCostCap(3); err == nil {
+		t.Error("SetCostCap on a MinCost build: want error")
+	}
+	if _, err := uncapped.SetCostCap(3); err == nil {
+		t.Error("SetCostCap without a cap row: want error")
+	}
+	if _, err := cost.SetDeadline(0); err == nil {
+		t.Error("SetDeadline(0): want error")
+	}
+}
+
+// TestBuildCloneCounters checks that the amortization counters move: a
+// Build bumps BuildCount, a retarget bumps CloneCount but not BuildCount.
+func TestBuildCloneCounters(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	b0, c0 := BuildCount(), CloneCount()
+	tpl, err := Build(g, pool, arch.PointToPoint{}, Options{Objective: MinMakespan, CostCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BuildCount() - b0; got < 1 {
+		t.Errorf("BuildCount moved by %d after one Build", got)
+	}
+	b1 := BuildCount()
+	for _, c := range []float64{14, 7, 5} {
+		if _, err := tpl.SetCostCap(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := CloneCount() - c0; got < 3 {
+		t.Errorf("CloneCount moved by %d after three retargets", got)
+	}
+	if got := BuildCount() - b1; got != 0 {
+		t.Errorf("BuildCount moved by %d during retargets", got)
+	}
+}

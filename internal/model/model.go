@@ -125,6 +125,13 @@ type Model struct {
 	Theta map[pairKey]lp.ColID
 
 	branch []lp.ColID // columns branch-and-bound must branch on
+
+	// capRow / deadlineRow are the Prob indices of the cost-cap and
+	// deadline rows (-1 when the build emitted none). SetCostCap and
+	// SetDeadline rewrite only these rows' Rhs on a cloned problem instead
+	// of rebuilding the model.
+	capRow      int
+	deadlineRow int
 }
 
 type sigmaKey struct {

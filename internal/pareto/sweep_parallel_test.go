@@ -1,0 +1,236 @@
+package pareto
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/budget"
+	"sos/internal/exact"
+	"sos/internal/expts"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/taskgraph"
+	"sos/internal/telemetry"
+)
+
+// frontiersIdentical asserts the two sweeps produced the same frontier:
+// same length, and the same (cost, perf, status) at every index.
+func frontiersIdentical(t *testing.T, seq, par []Point) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("sequential frontier has %d points, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if math.Abs(seq[i].Cost()-par[i].Cost()) > 1e-6 ||
+			math.Abs(seq[i].Perf()-par[i].Perf()) > 1e-6 {
+			t.Errorf("point %d: sequential (%g,%g) vs parallel (%g,%g)", i,
+				seq[i].Cost(), seq[i].Perf(), par[i].Cost(), par[i].Perf())
+		}
+		if seq[i].Status != par[i].Status {
+			t.Errorf("point %d: sequential status %v vs parallel %v", i, seq[i].Status, par[i].Status)
+		}
+	}
+}
+
+// TestParallelSweepMatchesSequentialMILP is the tentpole's correctness
+// anchor: the speculative-parallel Table II sweep must return the exact
+// frontier of the sequential sweep — same points, same order, same
+// statuses — with the race detector watching the shared templates,
+// incumbent pool, and job queue.
+func TestParallelSweepMatchesSequentialMILP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP sweep in -short mode")
+	}
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	base := Options{
+		Engine: EngineMILP,
+		MILP:   &milp.Options{TimeLimit: 2 * time.Minute},
+	}
+	seq, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		po := base
+		po.SweepWorkers = workers
+		par, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, po)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		frontiersIdentical(t, seq, par)
+	}
+	want := make([][2]float64, len(expts.Table2Full))
+	for i, pt := range expts.Table2Full {
+		want[i] = [2]float64{pt.Cost, pt.Perf}
+	}
+	if err := FrontierEquals(seq, want, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSweepMatchesSequentialCombinatorial runs the cheaper
+// combinatorial engine over all three table workloads, so every topology's
+// parallel path gets -race coverage in every test run (including -short).
+func TestParallelSweepMatchesSequentialCombinatorial(t *testing.T) {
+	g1, lib1 := expts.Example1()
+	g2, lib2 := expts.Example2()
+	workloads := []struct {
+		name string
+		g    *taskgraph.Graph
+		pool *arch.Instances
+		topo arch.Topology
+	}{
+		{"example1-p2p", g1, expts.Example1Pool(lib1), arch.PointToPoint{}},
+		{"example2-p2p", g2, expts.Example2Pool(lib2), arch.PointToPoint{}},
+		{"example2-bus", g2, expts.Example2Pool(lib2), arch.Bus{}},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			base := Options{
+				Engine: EngineCombinatorial,
+				Exact:  &exact.Options{TimeLimit: 2 * time.Minute},
+			}
+			seq, err := Sweep(context.Background(), w.g, w.pool, w.topo, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po := base
+			po.SweepWorkers = 4
+			par, err := Sweep(context.Background(), w.g, w.pool, w.topo, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frontiersIdentical(t, seq, par)
+		})
+	}
+}
+
+// TestParallelSweepBuildAmortization verifies the model-reuse claim with
+// the package counters: a whole parallel MILP sweep performs exactly two
+// full Builds (one MinMakespan template, one MinCost template) however
+// many points and speculative jobs it solves, and at least one clone per
+// lexicographic solve.
+func TestParallelSweepBuildAmortization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP sweep in -short mode")
+	}
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	b0, c0 := model.BuildCount(), model.CloneCount()
+	points, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, Options{
+		Engine:       EngineMILP,
+		MILP:         &milp.Options{TimeLimit: 2 * time.Minute},
+		SweepWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(expts.Table2Full) {
+		t.Fatalf("frontier has %d points, want %d", len(points), len(expts.Table2Full))
+	}
+	if builds := model.BuildCount() - b0; builds != 2 {
+		t.Errorf("parallel sweep performed %d full Builds, want exactly 2 (the templates)", builds)
+	}
+	// Each frontier point needs a perf clone and a cost clone at minimum.
+	if clones := model.CloneCount() - c0; clones < int64(2*len(points)) {
+		t.Errorf("parallel sweep performed %d clones, want >= %d", clones, 2*len(points))
+	}
+}
+
+// TestParallelSweepFaultInjection crashes exactly one MILP solve (a panic
+// on its first branch-and-bound node) and checks the sweep degrades
+// gracefully: the failed job is retried inline by the reconciler and the
+// frontier comes back complete and correct.
+func TestParallelSweepFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP sweep in -short mode")
+	}
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	var fired atomic.Bool
+	points, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, Options{
+		Engine: EngineMILP,
+		MILP: &milp.Options{
+			TimeLimit: 2 * time.Minute,
+			Hooks: &milp.Hooks{OnNode: func(int) {
+				if fired.CompareAndSwap(false, true) {
+					panic("injected solver crash")
+				}
+			}},
+		},
+		SweepWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("fault never injected")
+	}
+	want := make([][2]float64, len(expts.Table2Full))
+	for i, pt := range expts.Table2Full {
+		want[i] = [2]float64{pt.Cost, pt.Perf}
+	}
+	if err := FrontierEquals(points, want, 1e-6); err != nil {
+		for _, p := range points {
+			t.Logf("  point: cost=%g perf=%g status=%v", p.Cost(), p.Perf(), p.Status)
+		}
+		t.Fatal(err)
+	}
+}
+
+// TestParallelSweepSpeculationTelemetry checks the speculation events are
+// accounted: with a StartCap the grid is non-empty, and every speculative
+// job ends classified as exactly one of hit, wasted, or retargeted.
+func TestParallelSweepSpeculationTelemetry(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	tel := telemetry.New(nil)
+	_, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, Options{
+		Engine:       EngineCombinatorial,
+		Exact:        &exact.Options{TimeLimit: 2 * time.Minute},
+		StartCap:     14,
+		SweepWorkers: 4,
+		Telemetry:    tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Counters()
+	total := snap["speculative_hits"] + snap["speculative_wasted"] + snap["speculative_retargeted"]
+	if total == 0 {
+		t.Error("no speculation events recorded (grid unexpectedly empty)")
+	}
+	if snap["points"] != int64(len(expts.Table2Full)) {
+		t.Errorf("points counter = %d, want %d", snap["points"], len(expts.Table2Full))
+	}
+}
+
+// TestParallelSweepGovernedLadder runs the parallel sweep under a tight
+// governor with the full degradation ladder: it must not error, and every
+// returned point must respect the frontier invariant (decreasing cost,
+// strictly increasing makespan).
+func TestParallelSweepGovernedLadder(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	points, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, Options{
+		Engine:       EngineMILP,
+		MILP:         &milp.Options{TimeLimit: 2 * time.Minute},
+		Governor:     budget.New(50 * time.Millisecond),
+		Ladder:       budget.DefaultLadder(budget.RungMILP),
+		SweepWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Cost() >= points[i-1].Cost() || points[i].Perf() <= points[i-1].Perf() {
+			t.Errorf("invariant violated between points %d and %d: (%g,%g) then (%g,%g)",
+				i-1, i, points[i-1].Cost(), points[i-1].Perf(), points[i].Cost(), points[i].Perf())
+		}
+	}
+}

@@ -66,6 +66,15 @@ const (
 	// CtrDominatedDropped counts degraded frontier points removed because a
 	// later, cheaper point dominated them.
 	CtrDominatedDropped
+	// CtrSpeculativeHits counts parallel-sweep chain caps served by a
+	// completed speculative solve (no inline work needed).
+	CtrSpeculativeHits
+	// CtrSpeculativeWasted counts speculative solves whose result was never
+	// used by the chain (canceled too late or off-grid).
+	CtrSpeculativeWasted
+	// CtrSpeculativeRetargeted counts speculative jobs canceled before
+	// completion because a landed point proved their cap redundant.
+	CtrSpeculativeRetargeted
 
 	numCounters
 )
@@ -75,6 +84,7 @@ var counterNames = [numCounters]string{
 	"lp_warm", "lp_cold", "lp_fallbacks", "lp_dual_iters", "lp_primal_iters",
 	"map_nodes", "sched_nodes",
 	"points", "slices", "rollovers", "degrades", "dominated_dropped",
+	"speculative_hits", "speculative_wasted", "speculative_retargeted",
 }
 
 func (c Counter) String() string {
@@ -117,6 +127,11 @@ const (
 	// dropped because a cheaper, no-slower point superseded it. Value is
 	// the dropped point's makespan.
 	EvDominated
+	// EvSpeculate: a parallel-sweep speculative solve changed state. Label
+	// is "hit" (result adopted by the chain), "wasted" (completed unused),
+	// or "retargeted" (canceled as redundant); Value is the speculated
+	// cost cap.
+	EvSpeculate
 
 	numEventKinds
 )
@@ -124,6 +139,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
+	"speculate",
 }
 
 func (k EventKind) String() string {

@@ -204,6 +204,12 @@ type Spec struct {
 	// the sweep, and the resulting FrontierPoint is annotated with its
 	// Status and Gap.
 	Anytime bool
+	// SweepWorkers, when > 1, runs Frontier with that many concurrent
+	// point solvers: speculative caps drawn from the design-cost lattice
+	// are solved ahead of the ε-constraint chain and reconciled into the
+	// identical frontier the sequential sweep returns (DESIGN.md §10).
+	// 0 or 1 selects the sequential sweep.
+	SweepWorkers int
 
 	// Memory enables the §5 local-memory cost extension.
 	Memory bool
@@ -383,8 +389,9 @@ func Frontier(ctx context.Context, spec Spec) ([]FrontierPoint, error) {
 // budget governor and degradation ladder when the spec asks for them.
 func sweepOptions(sp Spec) pareto.Options {
 	opts := pareto.Options{
-		ModelOpts: model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
-		Telemetry: sp.Telemetry,
+		ModelOpts:    model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
+		Telemetry:    sp.Telemetry,
+		SweepWorkers: sp.SweepWorkers,
 	}
 	var first budget.Rung
 	switch sp.Engine {
