@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep fuzz-smoke lint
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-lp perf-lp-check fuzz-smoke lint
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, and a one-iteration smoke of the headline benchmark.
@@ -44,6 +44,17 @@ perf:
 ## identical, written to BENCH_sweep.json.
 perf-sweep:
 	$(GO) run ./cmd/sosbench -perf-sweep
+
+## perf-lp: LP-kernel throughput report (dense tableau vs sparse revised
+## simplex vs sparse+presolve) on pinned workloads, written to
+## BENCH_lp.json. Commit the refreshed file with perf-affecting PRs.
+perf-lp:
+	$(GO) run ./cmd/sosbench -perf-lp
+
+## perf-lp-check: re-measure the pinned LP benchmarks and fail on a >20%
+## ns/op slowdown against the committed BENCH_lp.json (the CI perf gate).
+perf-lp-check:
+	$(GO) run ./cmd/sosbench -perf-lp -check-baseline
 
 ## fuzz-smoke: ~30s of coverage-guided fuzzing over the two parsing
 ## surfaces (spec files and task-graph JSON). The corpus under testdata/

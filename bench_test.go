@@ -12,6 +12,7 @@ package sos
 import (
 	"context"
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"sos/internal/pareto"
 	"sos/internal/schedule"
 	"sos/internal/sim"
+	"sos/internal/taskgraph"
 )
 
 func requireFrontier(b *testing.B, pts []pareto.Point, want []expts.ParetoPoint) {
@@ -414,6 +416,90 @@ func BenchmarkLPRelaxation(b *testing.B) {
 			b.Fatalf("root LP %v", sol.Status)
 		}
 	}
+}
+
+// --- LP kernel benchmarks (dense tableau vs sparse revised simplex) ---
+
+// benchRootLP measures repeated root-LP solves of a prebuilt model under
+// one kernel configuration.
+func benchRootLP(b *testing.B, m *model.Model, opts *lp.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := m.Prob.Solve(opts)
+		if err != nil || sol.Status != lp.Optimal {
+			b.Fatalf("root LP err=%v status=%v", err, sol.Status)
+		}
+	}
+}
+
+func example2Cap15(b *testing.B) *model.Model {
+	b.Helper()
+	g, lib := expts.Example2()
+	pool := expts.Example2Pool(lib)
+	m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{Objective: model.MinMakespan, CostCap: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// forcedPipelineModel builds an n-subtask series-parallel instance where
+// subtask i runs only on processor type i: the mapping collapses and the
+// root relaxation becomes a large sparse scheduling LP — the scaling
+// workload the sparse kernel exists for (mirrors cmd/sosbench -perf-lp).
+func forcedPipelineModel(b *testing.B, n int) *model.Model {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	g := taskgraph.SeriesParallel(rng, taskgraph.StructuredSpec{Subtasks: n, MaxFan: 4})
+	lib := arch.NewLibrary("forced", 1, 1, 0)
+	for i := 0; i < n; i++ {
+		exec := make([]float64, n)
+		for a := range exec {
+			exec[a] = arch.NoTime
+		}
+		exec[i] = float64(1 + rng.Intn(5))
+		lib.AddType("", 1, exec)
+	}
+	copies := make([]int, n)
+	for i := range copies {
+		copies[i] = 1
+	}
+	m, err := model.Build(g, arch.InstancePool(lib, copies), arch.PointToPoint{},
+		model.Options{Objective: model.MinMakespan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkLPKernelDense solves the Example 2 root LP with the dense
+// tableau forced.
+func BenchmarkLPKernelDense(b *testing.B) {
+	benchRootLP(b, example2Cap15(b), &lp.Options{Kernel: lp.KernelDense})
+}
+
+// BenchmarkLPKernelSparse is the sparse-revised-simplex counterpart.
+func BenchmarkLPKernelSparse(b *testing.B) {
+	benchRootLP(b, example2Cap15(b), &lp.Options{Kernel: lp.KernelSparse})
+}
+
+// BenchmarkLPKernelSparsePresolve adds the presolve reduction pass.
+func BenchmarkLPKernelSparsePresolve(b *testing.B) {
+	benchRootLP(b, example2Cap15(b), &lp.Options{Kernel: lp.KernelSparse, Presolve: true})
+}
+
+// BenchmarkLPScaleDense solves the 200-subtask forced-pipeline root LP
+// with the dense tableau — the regime the sparse kernel outgrows.
+func BenchmarkLPScaleDense(b *testing.B) {
+	benchRootLP(b, forcedPipelineModel(b, 200), &lp.Options{Kernel: lp.KernelDense})
+}
+
+// BenchmarkLPScaleSparsePresolve is the sparse+presolve counterpart of
+// BenchmarkLPScaleDense.
+func BenchmarkLPScaleSparsePresolve(b *testing.B) {
+	benchRootLP(b, forcedPipelineModel(b, 200), &lp.Options{Kernel: lp.KernelSparse, Presolve: true})
 }
 
 // BenchmarkHeuristicSynthesis measures the ETF-based baseline on

@@ -6,6 +6,7 @@
 //
 //	sos -spec problem.json [-topology p2p|bus|ring] [-objective makespan|cost]
 //	    [-cost-cap N] [-deadline N] [-engine auto|milp|heuristic]
+//	    [-lp-kernel auto|dense|sparse] [-lp-presolve] [-root-cuts]
 //	    [-budget 1m] [-frontier] [-gantt] [-trace]
 //	    [-json] [-solver-trace events.jsonl] [-pprof cpu.prof] [-debug-addr :6060]
 //	sos -example 1|2 [...]        # run a built-in paper example
@@ -84,6 +85,9 @@ func run() error {
 		costCap     = flag.Float64("cost-cap", 0, "total system cost bound (0 = uncapped)")
 		deadline    = flag.Float64("deadline", 0, "completion-time bound for -objective cost")
 		engine      = flag.String("engine", "auto", "solver: auto, milp, combinatorial, or heuristic")
+		lpKernel    = flag.String("lp-kernel", "auto", "MILP relaxation simplex kernel: auto, dense, or sparse")
+		lpPresolve  = flag.Bool("lp-presolve", false, "enable the LP presolve reduction pass on MILP relaxations")
+		rootCuts    = flag.Bool("root-cuts", false, "generate knapsack cover cuts at the MILP root before branching")
 		budgetFlag  = flag.Duration("budget", 5*time.Minute, "per-solve time budget (0 = unlimited)")
 		totalBudget = flag.Duration("total-budget", 0, "one wall-clock budget for a whole -frontier sweep (0 = unlimited)")
 		anytime     = flag.Bool("anytime", false, "degrade starved -frontier points down the MILP→combinatorial→heuristic ladder instead of stopping")
@@ -146,8 +150,20 @@ func run() error {
 		SweepBudget:  *totalBudget,
 		Anytime:      *anytime,
 		SweepWorkers: *sweepWork,
+		LPPresolve:   *lpPresolve,
+		RootCuts:     *rootCuts,
 		Memory:       *memory,
 		NoOverlapIO:  *noOverlap,
+	}
+	switch *lpKernel {
+	case "auto":
+		spec.LPKernel = sos.LPKernelAuto
+	case "dense":
+		spec.LPKernel = sos.LPKernelDense
+	case "sparse":
+		spec.LPKernel = sos.LPKernelSparse
+	default:
+		return fmt.Errorf("unknown lp-kernel %q (%w)", *lpKernel, errUsage)
 	}
 	switch *topoName {
 	case "p2p":

@@ -14,6 +14,7 @@
 //	-ring              §5 ring-interconnect frontier (extension)
 //	-all               everything above
 //	-perf              solver-throughput report, written to BENCH_<date>.json
+//	-perf-lp           LP kernel report (dense vs sparse vs presolve), BENCH_lp.json
 //
 // By default frontiers are traced with the combinatorial engine (exact and
 // fast). -engine milp uses the paper's MILP method for everything it can
@@ -76,6 +77,7 @@ func main() {
 		scaling = flag.Bool("scaling", false, "beyond-paper: engine runtime vs problem size")
 		perf    = flag.Bool("perf", false, "measure solver throughput and write BENCH_<date>.json")
 		perfSw  = flag.Bool("perf-sweep", false, "measure Table II sweep scaling over worker counts and write BENCH_sweep.json")
+		perfLP  = flag.Bool("perf-lp", false, "measure LP kernel throughput (dense vs sparse vs presolve) and write BENCH_lp.json")
 	)
 	flag.Parse()
 
@@ -127,6 +129,7 @@ func main() {
 	run(*scaling, ScalingStudy)
 	run(*perf, Perf)
 	run(*perfSw, PerfSweep)
+	run(*perfLP, PerfLP)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

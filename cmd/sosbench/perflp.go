@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/lp"
+	"sos/internal/model"
+	"sos/internal/taskgraph"
+)
+
+var (
+	checkBaseline = flag.Bool("check-baseline", false,
+		"with -perf-lp: compare against the committed BENCH_lp.json instead of rewriting it; exit nonzero on slowdown beyond -baseline-tolerance")
+	baselineTol = flag.Float64("baseline-tolerance", 0.20,
+		"allowed fractional ns/op slowdown vs the committed baseline before -check-baseline fails")
+)
+
+// lpBenchFile is the committed per-PR baseline the CI perf gate compares
+// against. Fixed name so the gate and the artifact upload stay stable.
+const lpBenchFile = "BENCH_lp.json"
+
+type lpPerfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Obj         float64 `json:"objective"`
+	Iterations  int     `json:"iterations"`
+}
+
+type lpPerfReport struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	Results   []lpPerfResult `json:"results"`
+}
+
+// forcedPipeline builds the LP-scaling workload: an n-subtask structured
+// series-parallel graph where subtask i runs only on processor type i, so
+// the MILP collapses to a large pure-LP scheduling problem — the regime
+// that separates the dense tableau from the sparse revised simplex.
+func forcedPipeline(n int, seed int64) (*model.Model, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := taskgraph.SeriesParallel(rng, taskgraph.StructuredSpec{Subtasks: n, MaxFan: 4})
+	lib := arch.NewLibrary("forced", 1, 1, 0)
+	for i := 0; i < n; i++ {
+		exec := make([]float64, n)
+		for a := range exec {
+			exec[a] = arch.NoTime
+		}
+		exec[i] = float64(1 + rng.Intn(5))
+		lib.AddType("", 1, exec)
+	}
+	copies := make([]int, n)
+	for i := range copies {
+		copies[i] = 1
+	}
+	return model.Build(g, arch.InstancePool(lib, copies), arch.PointToPoint{},
+		model.Options{Objective: model.MinMakespan})
+}
+
+// PerfLP measures root-LP solve throughput for every kernel configuration
+// on two pinned workloads — the paper's Example 2 relaxation and a
+// 300-subtask forced-mapping pipeline — and writes BENCH_lp.json. With
+// -check-baseline it instead compares the fresh measurements against the
+// committed file and fails on a slowdown beyond -baseline-tolerance.
+func PerfLP() error {
+	fmt.Println("== LP kernel performance report ==")
+
+	g2, lib2 := expts.Example2()
+	ex2, err := model.Build(g2, expts.Example2Pool(lib2), arch.PointToPoint{},
+		model.Options{Objective: model.MinMakespan, CostCap: 15})
+	if err != nil {
+		return err
+	}
+	big, err := forcedPipeline(300, 13)
+	if err != nil {
+		return err
+	}
+
+	report := lpPerfReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	type cfg struct {
+		name string
+		m    *model.Model
+		opts lp.Options
+	}
+	cfgs := []cfg{
+		{"example2-root-dense", ex2, lp.Options{Kernel: lp.KernelDense}},
+		{"example2-root-sparse", ex2, lp.Options{Kernel: lp.KernelSparse}},
+		{"example2-root-sparse-presolve", ex2, lp.Options{Kernel: lp.KernelSparse, Presolve: true}},
+		{"sp300-root-dense", big, lp.Options{Kernel: lp.KernelDense}},
+		{"sp300-root-sparse", big, lp.Options{Kernel: lp.KernelSparse}},
+		{"sp300-root-sparse-presolve", big, lp.Options{Kernel: lp.KernelSparse, Presolve: true}},
+	}
+
+	// Every configuration of one workload must report the same optimum —
+	// the perf report doubles as a kernel cross-check. Each configuration
+	// is measured three times and the fastest run is recorded: the gate
+	// compares single-CPU wall clock, and best-of-N is what keeps
+	// scheduler noise on a shared box from tripping a 20% tolerance.
+	objByModel := map[*model.Model]float64{}
+	var benchErr error
+	for _, c := range cfgs {
+		var obj float64
+		var r testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			rr := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sol, err := c.m.Prob.Solve(&c.opts)
+					if err != nil || sol.Status != lp.Optimal {
+						if benchErr == nil {
+							benchErr = fmt.Errorf("%s: err=%v status=%v", c.name, err, sol.Status)
+						}
+						return
+					}
+					obj = sol.Obj
+				}
+			})
+			if benchErr != nil {
+				return benchErr
+			}
+			if rep == 0 || rr.NsPerOp() < r.NsPerOp() {
+				r = rr
+			}
+		}
+		if ref, ok := objByModel[c.m]; !ok {
+			objByModel[c.m] = obj
+		} else if math.Abs(obj-ref) > 1e-6*(1+math.Abs(ref)) {
+			return fmt.Errorf("%s: objective %g disagrees with sibling kernel's %g", c.name, obj, ref)
+		}
+		res := lpPerfResult{
+			Name:        c.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Obj:         obj,
+			Iterations:  r.N,
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("  %-30s %14d ns/op %12d B/op %10d allocs/op\n",
+			c.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	if *checkBaseline {
+		return compareLPBaseline(&report)
+	}
+
+	f, err := os.Create(lpBenchFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", lpBenchFile)
+	return nil
+}
+
+// compareLPBaseline diffs fresh measurements against the committed
+// BENCH_lp.json and fails when any pinned benchmark slowed beyond the
+// tolerance. Speedups and new benchmarks pass (the baseline is a ratchet,
+// not a straitjacket).
+func compareLPBaseline(fresh *lpPerfReport) error {
+	raw, err := os.ReadFile(lpBenchFile)
+	if err != nil {
+		return fmt.Errorf("no committed baseline: %w (run `make perf-lp` and commit %s)", err, lpBenchFile)
+	}
+	var base lpPerfReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", lpBenchFile, err)
+	}
+	baseByName := map[string]lpPerfResult{}
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	fmt.Printf("baseline %s (%s, %d CPU) vs fresh run, tolerance %.0f%%:\n",
+		base.Date, base.GoVersion, base.NumCPU, 100**baselineTol)
+	var failed []string
+	for _, r := range fresh.Results {
+		b, ok := baseByName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  %-30s (no baseline; skipped)\n", r.Name)
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(b.NsPerOp)
+		verdict := "ok"
+		if ratio > 1+*baselineTol {
+			verdict = "REGRESSION"
+			failed = append(failed, r.Name)
+		}
+		fmt.Printf("  %-30s %14d -> %14d ns/op (%.2fx) %s\n", r.Name, b.NsPerOp, r.NsPerOp, ratio, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("lp perf gate: %d benchmark(s) regressed beyond %.0f%%: %v",
+			len(failed), 100**baselineTol, failed)
+	}
+	fmt.Println()
+	return nil
+}

@@ -17,6 +17,8 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"sos/internal/telemetry"
 )
@@ -75,6 +77,12 @@ type Problem struct {
 	Name string
 	cols []Col
 	rows []Row
+
+	// colCache holds the lazily built sparse column view (see columns.go).
+	// It is invalidated by structural mutation (AddCol/AddRow) and built at
+	// most once between mutations; the view itself is immutable, so clones
+	// share it and concurrent solves race only on the atomic pointer.
+	colCache atomic.Pointer[colView]
 }
 
 // NewProblem creates an empty problem.
@@ -90,6 +98,7 @@ func (p *Problem) AddCol(name string, lb, ub, obj float64) ColID {
 		name = fmt.Sprintf("x%d", id)
 	}
 	p.cols = append(p.cols, Col{Name: name, Lb: lb, Ub: ub, Obj: obj})
+	p.colCache.Store(nil)
 	return id
 }
 
@@ -106,6 +115,7 @@ func (p *Problem) SetBounds(c ColID, lb, ub float64) {
 func (p *Problem) AddRow(name string, sense Sense, rhs float64, terms ...Term) int {
 	merged := mergeTerms(terms)
 	p.rows = append(p.rows, Row{Name: name, Sense: sense, Rhs: rhs, Terms: merged})
+	p.colCache.Store(nil)
 	return len(p.rows) - 1
 }
 
@@ -142,11 +152,25 @@ func (p *Problem) SetRowRhs(i int, rhs float64) { p.rows[i].Rhs = rhs }
 // keeps a clone O(rows+cols) instead of O(nonzeros). Solving never mutates
 // a Problem, so distinct clones may be solved concurrently.
 func (p *Problem) Clone() *Problem {
-	return &Problem{
+	q := &Problem{
 		Name: p.Name,
 		cols: append([]Col(nil), p.cols...),
 		rows: append([]Row(nil), p.rows...),
 	}
+	// The column view depends only on row structure (senses and
+	// coefficients), which the clone shares, so the cache carries over.
+	q.colCache.Store(p.colCache.Load())
+	return q
+}
+
+// NumNonzeros returns the number of structural coefficients across all
+// rows (the problem's nonzero count).
+func (p *Problem) NumNonzeros() int {
+	nnz := 0
+	for i := range p.rows {
+		nnz += len(p.rows[i].Terms)
+	}
+	return nnz
 }
 
 // NumCols returns the number of variables.
@@ -245,10 +269,53 @@ type Hooks struct {
 	ForceIterLimit int
 }
 
+// Kernel selects the simplex implementation.
+type Kernel int
+
+// Kernels.
+const (
+	// KernelAuto picks the dense tableau below autoSparseThreshold
+	// internal dimensions (rows+cols) and the sparse revised simplex
+	// above it. The paper-scale models stay on the dense path, whose
+	// per-pivot constant wins at those sizes; generated 100+-subtask
+	// models cross over to the sparse kernel.
+	KernelAuto Kernel = iota
+	// KernelDense forces the dense two-phase tableau (simplex.go).
+	KernelDense
+	// KernelSparse forces the sparse revised simplex (sparse.go): CSC
+	// columns, LU-factorized basis with product-form eta updates and
+	// periodic refactorization.
+	KernelSparse
+)
+
+// autoSparseThreshold is the rows+cols size at which KernelAuto switches
+// from the dense tableau to the sparse revised simplex. The paper's
+// largest model (Example 2, ~300 columns and ~1.6k rows) stays dense;
+// generated series-parallel/fork-join models at 100+ subtasks land well
+// above it.
+const autoSparseThreshold = 4000
+
 // Options tunes the solver. The zero value gives sensible defaults.
 type Options struct {
 	MaxIters int     // per solve; default 20000 + 50*(rows+cols)
 	Eps      float64 // feasibility/optimality tolerance; default 1e-9
+
+	// Kernel selects the simplex implementation (default KernelAuto).
+	Kernel Kernel
+
+	// Presolve enables the reduction pass (fixed-variable substitution,
+	// empty/singleton-row elimination, bound tightening, redundant-row
+	// removal) in front of the kernel; solutions are mapped back to the
+	// full column space by the postsolve step, so callers see no
+	// difference beyond speed. Off by default.
+	Presolve bool
+
+	// Deadline, when non-zero, bounds the wall-clock time of a single
+	// solve: the kernel polls it every few iterations and exits with
+	// IterLimit once passed. Branch and bound threads its own TimeLimit
+	// through here so one oversized node relaxation cannot blow the
+	// whole search budget.
+	Deadline time.Time
 
 	// BoundOverride, when non-nil, replaces the bounds of selected columns
 	// for this solve only (used by branch-and-bound to branch without
@@ -291,12 +358,52 @@ func (o *Options) eps() float64 {
 	return 1e-9
 }
 
+func (o *Options) deadline() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.Deadline
+}
+
+// kernelFor resolves the effective kernel for p: an explicit choice wins,
+// KernelAuto switches on problem size.
+func (o *Options) kernelFor(p *Problem) Kernel {
+	k := KernelAuto
+	if o != nil {
+		k = o.Kernel
+	}
+	if k != KernelAuto {
+		return k
+	}
+	if len(p.rows)+len(p.cols) >= autoSparseThreshold {
+		return KernelSparse
+	}
+	return KernelDense
+}
+
 // Solve runs the two-phase bounded simplex and returns the solution. The
-// problem itself is not modified.
+// problem itself is not modified. Options.Kernel selects the dense tableau
+// or the sparse revised simplex; Options.Presolve runs the reduction pass
+// first and maps the reduced solution back.
 func (p *Problem) Solve(opts *Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	s := newSimplex(p, opts)
-	return s.run(), nil
+	return p.solve(opts), nil
+}
+
+// solve dispatches a validated problem to presolve and/or a kernel.
+func (p *Problem) solve(opts *Options) *Solution {
+	if opts != nil && opts.Presolve {
+		return presolveSolve(p, opts)
+	}
+	return p.kernelSolve(opts)
+}
+
+// kernelSolve runs the selected simplex implementation with no presolve.
+func (p *Problem) kernelSolve(opts *Options) *Solution {
+	if opts.kernelFor(p) == KernelSparse {
+		return newSpx(p, opts).run()
+	}
+	return newSimplex(p, opts).run()
 }

@@ -9,17 +9,25 @@ import (
 
 // Resolver is the warm-start re-solve API used by branch and bound. It
 // solves a sequence of LPs that differ from the base Problem only in
-// variable bounds, keeping the simplex tableau and final basis alive
+// variable bounds, keeping the simplex state and final basis alive
 // between calls instead of rebuilding and re-running both phases.
 //
 // The key fact making this sound from *any* previously optimal state (not
 // just a parent node's): changing variable bounds never invalidates the
-// factorized tableau B⁻¹A or the reduced-cost row, so the retained basis
+// basis factorization or the reduced-cost row, so the retained basis
 // stays dual feasible. Only primal feasibility can break — the variables
 // whose bounds moved may sit outside them — and dual simplex pivots repair
 // exactly that. A per-node Basis snapshot is therefore unnecessary: the
 // resolver's own state is always a valid warm start for the next node,
 // regardless of where that node sits in the search tree.
+//
+// The resolver runs whichever kernel Options selects: the dense tableau
+// (simplex.go) or the sparse revised simplex (sparse.go); the warm-start
+// contract and fallback behavior are identical. With Options.Presolve the
+// base problem is reduced ONCE at construction and per-call bound
+// overrides are translated into the reduced space — valid because branch
+// and bound only ever tightens bounds, and every presolve reduction
+// remains sound under tighter boxes.
 //
 // Anything the warm path cannot certify (iteration cap, numerically
 // degenerate rows) falls back to a from-scratch cold solve, so results are
@@ -28,16 +36,24 @@ import (
 // A Resolver is not safe for concurrent use; parallel searches give each
 // worker its own.
 type Resolver struct {
-	p    *Problem
-	opts Options
+	p      *Problem
+	target *Problem // the problem kernels actually solve (reduced under presolve)
+	opts   Options
+	kern   Kernel
 
-	s        *simplex
+	pre       *presolveInfo        // nil when presolve is off
+	redBounds map[ColID][2]float64 // translate() output buffer
+	fullSol   Solution             // expanded solution under presolve
+
+	s        *simplex // dense kernel state (kern == KernelDense)
+	sx       *spx     // sparse kernel state (kern == KernelSparse)
 	cur      map[ColID][2]float64 // effective overrides of the last solve
 	reusable bool
 	warmRuns int // warm solves since the last refactorization
 
 	scratch []int     // changed-column buffer, sorted for determinism
 	cands   dualCands // entering-candidate buffer for the dual ratio test
+	rho     []float64 // sparse warm path: BTRAN image of the violated row
 	sol     Solution  // reused result; valid until the next Solve call
 	stats   ResolveStats
 }
@@ -71,6 +87,7 @@ type ResolveStats struct {
 	Fallbacks   int // warm attempts abandoned to a cold rebuild
 	DualIters   int // dual-simplex repair pivots across all warm solves
 	PrimalIters int // primal cleanup iterations across all warm solves
+	PresolveCut int // solves answered by the presolve layer alone (conflicts)
 }
 
 // warmDeltaMax gates the warm path on transition size: a re-solve whose
@@ -83,22 +100,34 @@ type ResolveStats struct {
 // Example 1 sweep: 1 beats 3 and 8 by ~10% and no gate by ~30%.
 const warmDeltaMax = 1
 
-// refactorEvery bounds round-off drift in the long-lived dense tableau: a
-// full rebuild every N warm solves caps accumulated pivot error at what a
-// single cold solve of depth ~N would see.
+// refactorEvery bounds round-off drift in long-lived warm state: a full
+// rebuild every N warm solves caps accumulated pivot error at what a
+// single cold solve of depth ~N would see. (The sparse kernel additionally
+// refactorizes its basis every spxRefactorEvery pivots inside a solve.)
 const refactorEvery = 256
 
 // NewResolver creates a warm-start re-solver for p. opts tunes every
-// solve; its BoundOverride is ignored (bounds are per-Solve).
+// solve; its BoundOverride is ignored (bounds are per-Solve). When
+// opts.Presolve is set the reduction runs here, once, and every Solve
+// call translates its bounds through the reduction.
 func (p *Problem) NewResolver(opts *Options) (*Resolver, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Resolver{p: p, cur: map[ColID][2]float64{}}
+	r := &Resolver{p: p, target: p, cur: map[ColID][2]float64{}}
 	if opts != nil {
 		r.opts = *opts
 	}
 	r.opts.BoundOverride = nil
+	if r.opts.Presolve {
+		r.opts.Presolve = false // kernels below run on the reduced problem
+		r.pre = runPresolve(p, nil)
+		r.pre.emitTelemetry(r.opts.Telemetry, r.opts.TelemetryWorker)
+		if !r.pre.infeasible {
+			r.target = r.pre.reduced
+		}
+	}
+	r.kern = r.opts.kernelFor(r.target)
 	return r, nil
 }
 
@@ -110,17 +139,36 @@ func (r *Resolver) Stats() ResolveStats { return r.stats }
 // revert to the problem's). The returned Solution and its slices are
 // reused by the next Solve call; callers must copy anything they retain.
 func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
+	if r.pre == nil {
+		return r.innerSolve(bounds), nil
+	}
+	if r.pre.infeasible {
+		r.stats.PresolveCut++
+		r.pre.infeasibleSolution(&r.fullSol)
+		return &r.fullSol, nil
+	}
+	red, conflict := r.pre.translate(bounds, r.redBounds)
+	r.redBounds = red
+	if conflict {
+		r.stats.PresolveCut++
+		r.pre.infeasibleSolution(&r.fullSol)
+		return &r.fullSol, nil
+	}
+	inner := r.innerSolve(red)
+	r.pre.expand(inner, &r.fullSol)
+	return &r.fullSol, nil
+}
+
+// innerSolve runs the warm/cold machinery on the target problem.
+func (r *Resolver) innerSolve(bounds map[ColID][2]float64) *Solution {
 	if h := r.opts.Hooks; h != nil && h.RejectWarm != nil && h.RejectWarm() {
 		r.stats.Fallbacks++
 		r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
-		return r.cold(bounds), nil
+		return r.cold(bounds)
 	}
-	if r.s == nil || !r.reusable || r.warmRuns >= refactorEvery {
-		return r.cold(bounds), nil
+	if (r.s == nil && r.sx == nil) || !r.reusable || r.warmRuns >= refactorEvery {
+		return r.cold(bounds)
 	}
-	r.stats.Warm++
-	r.warmRuns++
-	s := r.s
 
 	// Compute the bound delta between the previous solve and this one
 	// (columns reverting to problem bounds plus columns whose override
@@ -139,15 +187,26 @@ func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
 	}
 	sort.Ints(r.scratch)
 	if len(r.scratch) > warmDeltaMax {
-		r.stats.Warm--
-		return r.cold(bounds), nil
+		return r.cold(bounds)
 	}
+	if r.kern == KernelSparse {
+		return r.warmSparse(bounds)
+	}
+	return r.warmDense(bounds)
+}
+
+// warmDense is the dense tableau's warm path: apply the bound delta, run
+// the dual repair, then a primal cleanup.
+func (r *Resolver) warmDense(bounds map[ColID][2]float64) *Solution {
+	r.stats.Warm++
+	r.warmRuns++
+	s := r.s
 	for _, ci := range r.scratch {
 		c := ColID(ci)
 		if b, ok := bounds[c]; ok {
 			r.applyBound(ci, b[0], b[1])
 		} else {
-			col := r.p.cols[c]
+			col := r.target.cols[c]
 			r.applyBound(ci, col.Lb, col.Ub)
 		}
 	}
@@ -163,7 +222,7 @@ func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
 		r.stats.Warm--
 		r.stats.Fallbacks++
 		r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
-		return r.cold(bounds), nil
+		return r.cold(bounds)
 	}
 	dual := s.iters
 	r.stats.DualIters += dual
@@ -180,17 +239,77 @@ func (r *Resolver) Solve(bounds map[ColID][2]float64) (*Solution, error) {
 	}
 	r.reusable = st == Optimal || st == Infeasible
 	s.finishInto(st, &r.sol)
-	return &r.sol, nil
+	return &r.sol
 }
 
-// cold rebuilds the tableau from scratch and runs both phases.
+// warmSparse mirrors warmDense on the revised simplex: the retained LU
+// factor plus eta file stand in for the dense tableau, FTRANs supply the
+// column images the bound updates and pivots need, and any numerical
+// doubt (singular refactorization mid-repair) falls back cold.
+func (r *Resolver) warmSparse(bounds map[ColID][2]float64) *Solution {
+	r.stats.Warm++
+	r.warmRuns++
+	s := r.sx
+	for _, ci := range r.scratch {
+		c := ColID(ci)
+		if b, ok := bounds[c]; ok {
+			r.applyBoundSX(ci, b[0], b[1])
+		} else {
+			col := r.target.cols[c]
+			r.applyBoundSX(ci, col.Lb, col.Ub)
+		}
+	}
+	r.setCur(bounds)
+
+	s.iters = 0
+	s.setPhaseObjective(false)
+
+	st, ok := r.dualRepairSX()
+	if !ok || s.broken {
+		r.stats.Warm--
+		r.stats.Fallbacks++
+		r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
+		return r.cold(bounds)
+	}
+	dual := s.iters
+	r.stats.DualIters += dual
+	if st == Optimal {
+		before := s.iters
+		st = s.iterate(false)
+		if s.broken {
+			r.stats.Warm--
+			r.stats.Fallbacks++
+			r.opts.Telemetry.Inc(telemetry.CtrLPFallbacks)
+			return r.cold(bounds)
+		}
+		r.stats.PrimalIters += s.iters - before
+	}
+	if tel := r.opts.Telemetry; tel != nil {
+		tel.Inc(telemetry.CtrLPWarm)
+		tel.Add(telemetry.CtrLPDualIters, int64(dual))
+		tel.Add(telemetry.CtrLPPrimalIters, int64(s.iters-dual))
+		tel.Emit(telemetry.EvLPResolve, r.opts.TelemetryWorker, float64(s.iters), "warm")
+	}
+	r.reusable = st == Optimal || st == Infeasible
+	s.finishInto(st, &r.sol)
+	return &r.sol
+}
+
+// cold rebuilds the selected kernel from scratch and runs both phases.
 func (r *Resolver) cold(bounds map[ColID][2]float64) *Solution {
 	r.stats.Cold++
 	r.warmRuns = 0
 	o := r.opts
 	o.BoundOverride = bounds
-	r.s = newSimplex(r.p, &o)
-	r.sol = *r.s.run()
+	if r.kern == KernelSparse {
+		r.s = nil
+		r.sx = newSpx(r.target, &o)
+		r.sol = *r.sx.run()
+	} else {
+		r.sx = nil
+		r.s = newSimplex(r.target, &o)
+		r.sol = *r.s.run()
+	}
 	if tel := r.opts.Telemetry; tel != nil {
 		tel.Inc(telemetry.CtrLPCold)
 		tel.Emit(telemetry.EvLPResolve, r.opts.TelemetryWorker, float64(r.sol.Iters), "cold")
@@ -236,6 +355,36 @@ func (r *Resolver) applyBound(j int, lb, ub float64) {
 	if delta := nv - old; delta != 0 {
 		for i := 0; i < s.m; i++ {
 			if y := s.tab[i][j]; y != 0 {
+				s.xB[i] -= y * delta
+			}
+		}
+	}
+}
+
+// applyBoundSX is applyBound for the sparse kernel: the tableau column is
+// not materialized, so one FTRAN recovers it when the nonbasic snap moves
+// basic values.
+func (r *Resolver) applyBoundSX(j int, lb, ub float64) {
+	s := r.sx
+	if s.lb[j] == lb && s.ub[j] == ub {
+		return
+	}
+	old := s.value(j)
+	s.lb[j], s.ub[j] = lb, ub
+	if s.status[j] == basic {
+		return
+	}
+	if s.status[j] == atUpper && math.IsInf(ub, 1) {
+		s.status[j] = atLower
+	}
+	nv := s.lb[j]
+	if s.status[j] == atUpper {
+		nv = s.ub[j]
+	}
+	if delta := nv - old; delta != 0 {
+		s.ftranCol(j)
+		for i := 0; i < s.m; i++ {
+			if y := s.w[i]; y != 0 {
 				s.xB[i] -= y * delta
 			}
 		}
@@ -393,6 +542,139 @@ func (r *Resolver) dualRepair() (Status, bool) {
 		// extremal over the whole box, so the row certifies primal
 		// infeasibility. The flips taken on the way are kept; they only
 		// moved nonbasics between their own bounds.
+		return Infeasible, true
+	}
+}
+
+// dualRepairSX is dualRepair on the sparse kernel. The violated row of
+// B⁻¹A is recovered with one BTRAN (rho = B⁻ᵀe_row) and priced against
+// the sparse columns; each flip or pivot FTRANs the entering column it
+// needs. Reduced costs are re-priced at every repair iteration — one
+// BTRAN plus a pass over the nonzeros, cheap at the repair budget's
+// scale — instead of being maintained incrementally.
+func (r *Resolver) dualRepairSX() (Status, bool) {
+	s := r.sx
+	const pivEps = 1e-7
+	const repairTol = 1e-7
+	const certTol = 1e-5
+	maxRepair := s.m/4 + 30
+	if s.max < maxRepair {
+		maxRepair = s.max
+	}
+	if cap(r.rho) < s.m {
+		r.rho = make([]float64, s.m)
+	}
+	rho := r.rho[:s.m]
+	for {
+		if h := s.hooks; h != nil && h.OnPivot != nil {
+			h.OnPivot(s.iters)
+		}
+		if s.iters >= maxRepair {
+			return IterLimit, false
+		}
+		s.price()
+		row, below := -1, false
+		viol := repairTol
+		for i := 0; i < s.m; i++ {
+			bv := s.basicVar[i]
+			if v := s.lb[bv] - s.xB[i]; v > viol {
+				row, viol, below = i, v, true
+			}
+			if v := s.xB[i] - s.ub[bv]; v > viol {
+				row, viol, below = i, v, false
+			}
+		}
+		if row < 0 {
+			return Optimal, true
+		}
+		bv := s.basicVar[row]
+		if s.isArt[bv] {
+			return 0, false
+		}
+
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[row] = 1
+		s.btranRow(rho)
+		r.cands = r.cands[:0]
+		marginal := false
+		for j := 0; j < s.nTot; j++ {
+			if s.status[j] == basic || s.lb[j] == s.ub[j] {
+				continue
+			}
+			y := 0.0
+			ri, ax := s.colOf(j)
+			for t, i := range ri {
+				y += rho[i] * ax[t]
+			}
+			ay := math.Abs(y)
+			if ay <= s.eps {
+				continue
+			}
+			var helps bool
+			if s.status[j] == atLower {
+				helps = below == (y < 0)
+			} else {
+				helps = below == (y > 0)
+			}
+			if !helps {
+				continue
+			}
+			if ay <= pivEps {
+				marginal = true
+				continue
+			}
+			r.cands = append(r.cands, dualCand{j: j, ratio: math.Abs(s.d[j]) / ay, ay: ay})
+		}
+		sort.Sort(r.cands)
+
+		remaining := viol
+		pivoted := false
+		for _, c := range r.cands {
+			dir := 1.0
+			if s.status[c.j] == atUpper {
+				dir = -1
+			}
+			rng := s.ub[c.j] - s.lb[c.j]
+			if capj := rng * c.ay; !math.IsInf(rng, 1) && capj < remaining {
+				s.iters++
+				s.ftranCol(c.j)
+				s.applyStep(c.j, dir, rng)
+				if s.status[c.j] == atLower {
+					s.status[c.j] = atUpper
+				} else {
+					s.status[c.j] = atLower
+				}
+				remaining -= capj
+				continue
+			}
+			s.iters++
+			t := remaining / c.ay
+			nv := s.boundValue(c.j, dir, t)
+			s.ftranCol(c.j)
+			s.applyStep(c.j, dir, t)
+			if below {
+				s.status[bv] = atLower
+			} else {
+				s.status[bv] = atUpper
+			}
+			s.installBasis(row, c.j, nv)
+			if s.broken {
+				return 0, false
+			}
+			pivoted = true
+			break
+		}
+		if pivoted {
+			continue
+		}
+		if marginal {
+			return 0, false
+		}
+		if remaining < certTol {
+			return 0, false
+		}
 		return Infeasible, true
 	}
 }

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // varStatus tracks where a column currently sits.
 type varStatus int8
@@ -18,10 +21,11 @@ const (
 // order, [nStruct, nStruct+nSlack) slacks (one per inequality row),
 // [nStruct+nSlack, nTot) artificials (one per row that needs one).
 type simplex struct {
-	p     *Problem
-	eps   float64
-	max   int
-	hooks *Hooks
+	p        *Problem
+	eps      float64
+	max      int
+	hooks    *Hooks
+	deadline time.Time
 
 	m       int // rows
 	nStruct int
@@ -46,7 +50,7 @@ type simplex struct {
 }
 
 func newSimplex(p *Problem, opts *Options) *simplex {
-	s := &simplex{p: p, eps: opts.eps(), max: opts.maxIters(p), hooks: opts.hooks()}
+	s := &simplex{p: p, eps: opts.eps(), max: opts.maxIters(p), hooks: opts.hooks(), deadline: opts.deadline()}
 	s.build(opts)
 	return s
 }
@@ -316,6 +320,9 @@ func (s *simplex) iterate(phase1 bool) Status {
 			h.OnPivot(s.iters)
 		}
 		if s.iters >= s.max {
+			return IterLimit
+		}
+		if !s.deadline.IsZero() && s.iters%deadlineStride == 0 && time.Now().After(s.deadline) {
 			return IterLimit
 		}
 		s.iters++

@@ -76,6 +76,7 @@ type Solution struct {
 	Nodes  int       // branch-and-bound nodes explored
 	Bound  float64   // best proven lower bound on the optimum
 	Gap    float64   // |Obj-Bound| relative gap (0 when Optimal)
+	Cuts   int       // cutting planes appended at the root (Options.RootCuts)
 	// LPStats aggregates how node relaxations were solved (warm vs cold)
 	// across all workers; zero when Options.ColdLP is set.
 	LPStats lp.ResolveStats
@@ -133,6 +134,15 @@ type Options struct {
 	// tableau from scratch at every node (the pre-resolver behaviour).
 	// Ablation/debugging only.
 	ColdLP bool
+	// RootCuts enables cover-cut generation at the root: knapsack rows
+	// (≤ rows over binary columns, such as the SOS cost-cap row) are
+	// separated against the fractional root relaxation and violated cover
+	// inequalities are appended before the tree search starts. The search
+	// then runs on the tightened clone; the caller's Problem is not
+	// mutated.
+	RootCuts bool
+	// MaxCutRounds caps root separation rounds (default 5, used when 0).
+	MaxCutRounds int
 	// Hooks injects failpoints for fault testing; nil in production.
 	Hooks *Hooks
 	// Telemetry, when non-nil, aggregates search counters (node
@@ -217,9 +227,10 @@ type bbState struct {
 	// map; refixLocked publishes a fresh map on incumbent improvement.
 	fixed atomic.Pointer[map[lp.ColID][2]float64]
 
-	nodes    atomic.Int64
-	stop     atomic.Bool // budget exhausted: halt the search
-	unproven atomic.Bool // optimality can no longer be claimed
+	nodes     atomic.Int64
+	stop      atomic.Bool // budget exhausted: halt the search
+	unproven  atomic.Bool // optimality can no longer be claimed
+	cutsAdded int         // root cutting planes (written before workers start)
 
 	lpMu    sync.Mutex
 	lpStats lp.ResolveStats
@@ -350,7 +361,7 @@ func (st *bbState) err() error {
 
 // result assembles the Solution after the search ends.
 func (st *bbState) result() *Solution {
-	res := &Solution{Nodes: int(st.nodes.Load()), LPStats: st.lpStats}
+	res := &Solution{Nodes: int(st.nodes.Load()), LPStats: st.lpStats, Cuts: st.cutsAdded}
 	if st.rootUnbounded {
 		res.Status = Unbounded
 		res.Obj = math.Inf(-1)
@@ -411,10 +422,19 @@ func (st *bbState) newWorker(id int) *bbWorker {
 }
 
 func (st *bbState) lpOpts(worker int) *lp.Options {
-	o := &lp.Options{Telemetry: st.opts.Telemetry, TelemetryWorker: worker}
+	// Deadline lets an oversized node relaxation be interrupted by the
+	// MILP TimeLimit instead of running to completion; the kernel returns
+	// IterLimit, which expand() already treats as "bound untrusted".
+	o := &lp.Options{
+		Telemetry:       st.opts.Telemetry,
+		TelemetryWorker: worker,
+		Deadline:        st.deadline,
+	}
 	if st.opts.LP != nil {
 		o.MaxIters = st.opts.LP.MaxIters
 		o.Eps = st.opts.LP.Eps
+		o.Kernel = st.opts.LP.Kernel
+		o.Presolve = st.opts.LP.Presolve
 	}
 	if st.opts.Hooks != nil {
 		o.Hooks = st.opts.Hooks.LP
@@ -627,8 +647,13 @@ func (s *Solver) Solve(ctx context.Context, opts *Options) (*Solution, error) {
 		}
 	}
 
+	if opts.RootCuts {
+		// May replace st.s with a solver over a cut-tightened clone; every
+		// path below reads the solver through st.s.
+		st.addRootCuts()
+	}
 	if opts.Workers > 1 {
-		return s.solveParallel(st)
+		return st.s.solveParallel(st)
 	}
 	w := st.newWorker(0)
 	if w.err != nil {

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sos/internal/arch"
 	"sos/internal/lp"
@@ -70,6 +71,11 @@ func Build(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Op
 		m.tightenBounds()
 	}
 	m.fillStats()
+	// Build the sparse column view once, while the model is still owned by
+	// one goroutine: every later solve and clone (Pareto sweeps hand clones
+	// of this problem to parallel workers) shares the snapshot instead of
+	// re-transposing the rows.
+	m.Prob.PrecomputeColumns()
 	return m, nil
 }
 
@@ -276,6 +282,8 @@ func (m *Model) conflictCombos(e1, e2 taskgraph.ArcID) []conflictCombo {
 						sigmas = append(sigmas, col)
 					}
 					if ok {
+						// Deterministic term order despite the map dedup.
+						sort.Slice(sigmas, func(a, b int) bool { return sigmas[a] < sigmas[b] })
 						combos = append(combos, conflictCombo{Sigmas: sigmas})
 					}
 				}
@@ -412,7 +420,22 @@ func (m *Model) addMappingRows() {
 		}
 		m.Prob.AddRow("transfer-type"+tag, lp.Eq, 1, terms...)
 	}
-	for k, pcol := range m.Pi {
+	piKeys := make([]piKey, 0, len(m.Pi))
+	for k := range m.Pi {
+		piKeys = append(piKeys, k)
+	}
+	sort.Slice(piKeys, func(i, j int) bool {
+		a, b := piKeys[i], piKeys[j]
+		if a.Arc != b.Arc {
+			return a.Arc < b.Arc
+		}
+		if a.D1 != b.D1 {
+			return a.D1 < b.D1
+		}
+		return a.D2 < b.D2
+	})
+	for _, k := range piKeys {
+		pcol := m.Pi[k]
 		a := g.Arc(k.Arc)
 		s1 := m.Sigma[sigmaKey{k.D1, a.Src}]
 		s2 := m.Sigma[sigmaKey{k.D2, a.Dst}]
@@ -517,13 +540,56 @@ func (m *Model) pairDelaysCached() bool {
 	return len(m.Pi) > 0
 }
 
+// sortedPairKeys returns the map's keys in (A,B) order. Row-emission loops
+// iterate keys through this instead of ranging the map directly: the row
+// ORDER of the built problem must not depend on Go's randomized map
+// iteration, or simplex pivot sequences (and with them solve times and
+// telemetry counters) change from process to process on the same input.
+func sortedPairKeys(m map[pairKey]lp.ColID) []pairKey {
+	keys := make([]pairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	return keys
+}
+
+func sortedLinkIDs(m map[arch.LinkID]lp.ColID) []arch.LinkID {
+	keys := make([]arch.LinkID, 0, len(m))
+	for l := range m {
+		keys = append(keys, l)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedPsiKeys(m map[psiKey]lp.ColID) []psiKey {
+	keys := make([]psiKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Arc != keys[j].Arc {
+			return keys[i].Arc < keys[j].Arc
+		}
+		return keys[i].Task < keys[j].Task
+	})
+	return keys
+}
+
 // addExclusionRows emits processor-usage exclusion (3.4.17)/(3.4.18) and
 // communication-resource exclusion (3.4.19)/(3.4.20), generalized over
 // topologies.
 func (m *Model) addExclusionRows() {
 	tm := m.TM
 	// Processor exclusion, per α pair and shared instance.
-	for k, acol := range m.Alpha {
+	for _, k := range sortedPairKeys(m.Alpha) {
+		acol := m.Alpha[k]
 		s1, s2 := taskgraph.SubtaskID(k.A), taskgraph.SubtaskID(k.B)
 		for _, d := range m.sharedProcs(s1, s2) {
 			sig1 := m.Sigma[sigmaKey{d, s1}]
@@ -540,7 +606,8 @@ func (m *Model) addExclusionRows() {
 	}
 	// Communication-resource exclusion, per φ pair and conflict combo.
 	shared1 := m.Topo.NumLinks(m.Pool.NumProcs()) == 1
-	for k, pcol := range m.Phi {
+	for _, k := range sortedPairKeys(m.Phi) {
+		pcol := m.Phi[k]
 		e1, e2 := taskgraph.ArcID(k.A), taskgraph.ArcID(k.B)
 		for ci, combo := range m.conflictCombos(e1, e2) {
 			var act []lp.Term // activation terms, all must be 1
@@ -593,7 +660,8 @@ func (m *Model) addNoOverlapTimingRows() {
 			lp.Term{Col: m.Gamma[a.ID], Coef: -tm})
 	}
 	// Transfer vs third-party subtask exclusion via ψ.
-	for k, psiCol := range m.Psi {
+	for _, k := range sortedPsiKeys(m.Psi) {
+		psiCol := m.Psi[k]
 		a := g.Arc(k.Arc)
 		for _, side := range []taskgraph.SubtaskID{a.Src, a.Dst} {
 			for _, d := range m.sharedProcs(side, k.Task) {
@@ -619,7 +687,8 @@ func (m *Model) addNoOverlapTimingRows() {
 		}
 	}
 	// Transfer vs transfer processor exclusion via θ.
-	for k, thCol := range m.Theta {
+	for _, k := range sortedPairKeys(m.Theta) {
+		thCol := m.Theta[k]
 		e1, e2 := taskgraph.ArcID(k.A), taskgraph.ArcID(k.B)
 		for ci, combo := range m.procConflictCombos(e1, e2) {
 			kk := float64(len(combo.Sigmas)) + 2 // + the two γ activations
@@ -718,9 +787,9 @@ func (m *Model) costTerms() []lp.Term {
 			terms = append(terms, lp.Term{Col: m.Beta[p.ID], Coef: c})
 		}
 	}
-	for l, col := range m.Chi {
+	for _, l := range sortedLinkIDs(m.Chi) {
 		if c := m.Topo.LinkCost(lib, l); c != 0 {
-			terms = append(terms, lp.Term{Col: col, Coef: c})
+			terms = append(terms, lp.Term{Col: m.Chi[l], Coef: c})
 		}
 	}
 	if m.Opts.Memory && lib.MemCostPerUnit > 0 {
@@ -809,5 +878,6 @@ func (m *Model) fillStats() {
 	s.BranchVars = len(m.branch)
 	s.ContinuousAux = len(m.Pi) + len(m.MemD)
 	s.Constraints = m.Prob.NumRows()
+	s.Nonzeros = m.Prob.NumNonzeros()
 	s.BigM = m.TM
 }

@@ -42,7 +42,8 @@ func (m *Model) MaxCost() float64 {
 	for _, p := range m.Pool.Procs() {
 		total += m.Pool.Cost(p.ID)
 	}
-	for l := range m.Chi {
+	// Sorted so the floating-point sum is bit-stable across processes.
+	for _, l := range sortedLinkIDs(m.Chi) {
 		total += m.Topo.LinkCost(lib, l)
 	}
 	if m.Opts.Memory && lib.MemCostPerUnit > 0 {

@@ -85,6 +85,7 @@ type Stats struct {
 	BranchVars    int // binaries the solver actually branches on (σ, α, φ, ψ, θ)
 	ContinuousAux int // π (ring) and memory-sizing columns
 	Constraints   int
+	Nonzeros      int // structural coefficient count (sparse-kernel work scale)
 	BigM          float64
 }
 

@@ -1,0 +1,10 @@
+//go:build race
+
+package model
+
+// raceEnabled reports whether the race detector instruments this binary.
+// Wall-clock performance assertions skip under it: instrumentation slows
+// both kernels by an order of magnitude and unevenly, so "dense cannot
+// close within the budget but sparse can" stops being a statement about
+// the kernels.
+const raceEnabled = true

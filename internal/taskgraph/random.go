@@ -48,3 +48,159 @@ func Random(rng *rand.Rand, spec RandomSpec) *Graph {
 	}
 	return g
 }
+
+// randomArc draws one arc's parameters the way Random does.
+func randomArc(rng *rand.Rand, maxVol float64, fractions bool) ArcSpec {
+	as := ArcSpec{Volume: 1 + rng.Float64()*(maxVol-1), FA: 1}
+	if fractions {
+		frs := []float64{0, 0.25, 0.5}
+		fas := []float64{0.5, 0.75, 1}
+		as.FR = frs[rng.Intn(len(frs))]
+		as.FA = fas[rng.Intn(len(fas))]
+	}
+	return as
+}
+
+// StructuredSpec parameterizes the structured generators (SeriesParallel,
+// ForkJoin). The zero value of every field gets a usable default.
+type StructuredSpec struct {
+	Subtasks  int     // number of nodes (>= 1; generators scale to 100–1000)
+	MaxFan    int     // widest parallel section / fork width (default 4)
+	MaxVol    float64 // volumes drawn uniformly from [1, MaxVol] (default 4)
+	Fractions bool    // when set, draw f_R from {0,.25,.5} and f_A from {.5,.75,1}
+}
+
+func (s *StructuredSpec) defaults() (int, int, float64) {
+	n := s.Subtasks
+	if n < 1 {
+		n = 1
+	}
+	fan := s.MaxFan
+	if fan < 2 {
+		fan = 4
+	}
+	maxVol := s.MaxVol
+	if maxVol < 1 {
+		maxVol = 4
+	}
+	return n, fan, maxVol
+}
+
+// SeriesParallel generates a random series-parallel DAG by recursive
+// decomposition: a block is a single node, a series chain of blocks, or a
+// parallel section between a dedicated fork node and a dedicated join
+// node. Node IDs are assigned so arcs only go forward (acyclic by
+// construction), and the result is deterministic for a given rng state.
+// This is the pipelined-dataflow shape of the paper's applications, and
+// the scale knob the 100–1000-subtask solver stress suites use.
+func SeriesParallel(rng *rand.Rand, spec StructuredSpec) *Graph {
+	n, fan, maxVol := spec.defaults()
+	g := New("series-parallel")
+	for i := 0; i < n; i++ {
+		g.AddSubtask("")
+	}
+	arc := func(src, dst int) {
+		g.AddArc(SubtaskID(src), SubtaskID(dst), randomArc(rng, maxVol, spec.Fractions))
+	}
+	// block wires the contiguous ID range [lo,hi) into one series-parallel
+	// block and returns nothing: lo is always the block's entry and hi-1
+	// its exit, so parents can connect around it.
+	var block func(lo, hi int)
+	block = func(lo, hi int) {
+		size := hi - lo
+		switch {
+		case size <= 1:
+			return
+		case size == 2:
+			arc(lo, lo+1)
+			return
+		}
+		if rng.Intn(2) == 0 {
+			// Series: split into consecutive sub-blocks and chain them.
+			cut := lo + 1 + rng.Intn(size-1)
+			block(lo, cut)
+			block(cut, hi)
+			arc(cut-1, cut)
+			return
+		}
+		// Parallel: lo forks, hi-1 joins, the middle splits into branches.
+		mid := size - 2
+		branches := 2 + rng.Intn(fan-1)
+		if branches > mid {
+			branches = mid
+		}
+		if branches < 1 {
+			arc(lo, hi-1)
+			return
+		}
+		// Random branch sizes summing to mid.
+		cuts := make([]int, 0, branches+1)
+		cuts = append(cuts, 0)
+		for len(cuts) < branches {
+			cuts = append(cuts, 1+rng.Intn(mid-1))
+		}
+		cuts = append(cuts, mid)
+		sortInts(cuts)
+		start := lo + 1
+		for b := 0; b < branches; b++ {
+			blo, bhi := start+cuts[b], start+cuts[b+1]
+			if bhi <= blo {
+				continue
+			}
+			block(blo, bhi)
+			arc(lo, blo)
+			arc(bhi-1, hi-1)
+		}
+	}
+	block(0, n)
+	return g
+}
+
+// ForkJoin generates a chain of fork-join stages: each stage forks from
+// the previous join into 1..MaxFan parallel workers that merge into the
+// next join. IDs increase along the chain, so the graph is acyclic by
+// construction and deterministic for a given rng state. This is the
+// map-reduce-style shape that maximizes schedulable parallelism per node,
+// the adversarial case for the ordering binaries.
+func ForkJoin(rng *rand.Rand, spec StructuredSpec) *Graph {
+	n, fan, maxVol := spec.defaults()
+	g := New("fork-join")
+	for i := 0; i < n; i++ {
+		g.AddSubtask("")
+	}
+	arc := func(src, dst int) {
+		g.AddArc(SubtaskID(src), SubtaskID(dst), randomArc(rng, maxVol, spec.Fractions))
+	}
+	prev := 0 // current join node
+	used := 1
+	for used < n {
+		remaining := n - used
+		if remaining == 1 {
+			arc(prev, used)
+			used++
+			break
+		}
+		width := 1 + rng.Intn(fan)
+		if width > remaining-1 {
+			width = remaining - 1
+		}
+		join := used + width
+		for w := used; w < join; w++ {
+			arc(prev, w)
+			arc(w, join)
+		}
+		prev = join
+		used = join + 1
+	}
+	return g
+}
+
+// sortInts is insertion sort for the small cut lists above (avoids pulling
+// in sort for a hot, tiny slice).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

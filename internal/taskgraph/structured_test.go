@@ -1,0 +1,94 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkStructured validates the invariants both structured generators
+// promise: exact node count, acyclicity (arcs strictly forward), a valid
+// topological order, and full connectivity (every non-entry node has a
+// predecessor, every non-exit node a successor).
+func checkStructured(t *testing.T, g *Graph, wantNodes int) {
+	t.Helper()
+	if g.NumSubtasks() != wantNodes {
+		t.Fatalf("%s: %d subtasks, want %d", g.Name, g.NumSubtasks(), wantNodes)
+	}
+	for _, a := range g.Arcs() {
+		if a.Dst <= a.Src {
+			t.Fatalf("%s: backward arc %d->%d", g.Name, a.Src, a.Dst)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", g.Name, err)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("%s: %v", g.Name, err)
+	}
+	if wantNodes == 1 {
+		return
+	}
+	for i := 0; i < wantNodes; i++ {
+		if i > 0 && len(g.In(SubtaskID(i))) == 0 {
+			t.Fatalf("%s: node %d unreachable (no in-arcs)", g.Name, i)
+		}
+		if i < wantNodes-1 && len(g.Out(SubtaskID(i))) == 0 {
+			t.Fatalf("%s: node %d is a dead end (no out-arcs)", g.Name, i)
+		}
+	}
+}
+
+func TestSeriesParallelShapes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 500, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := SeriesParallel(rng, StructuredSpec{Subtasks: n, Fractions: true})
+		checkStructured(t, g, n)
+	}
+}
+
+func TestForkJoinShapes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 500, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := ForkJoin(rng, StructuredSpec{Subtasks: n, MaxFan: 8})
+		checkStructured(t, g, n)
+	}
+}
+
+// TestStructuredDeterminism: the same seed must reproduce the same graph
+// (the perf baselines and CI smoke depend on stable instances).
+func TestStructuredDeterminism(t *testing.T) {
+	gen := func() (*Graph, *Graph) {
+		return SeriesParallel(rand.New(rand.NewSource(42)), StructuredSpec{Subtasks: 200, Fractions: true}),
+			ForkJoin(rand.New(rand.NewSource(42)), StructuredSpec{Subtasks: 200, Fractions: true})
+	}
+	sp1, fj1 := gen()
+	sp2, fj2 := gen()
+	for name, pair := range map[string][2]*Graph{"series-parallel": {sp1, sp2}, "fork-join": {fj1, fj2}} {
+		a, b := pair[0], pair[1]
+		if a.NumArcs() != b.NumArcs() {
+			t.Fatalf("%s: arc counts differ across identical seeds", name)
+		}
+		for i, arc := range a.Arcs() {
+			other := b.Arcs()[i]
+			if arc.Src != other.Src || arc.Dst != other.Dst || arc.Volume != other.Volume ||
+				arc.FR != other.FR || arc.FA != other.FA {
+				t.Fatalf("%s: arc %d differs across identical seeds", name, i)
+			}
+		}
+	}
+}
+
+// TestForkJoinWidth: fork stages actually fan out (the generator's reason
+// to exist is parallelism pressure on the ordering binaries).
+func TestForkJoinWidth(t *testing.T) {
+	g := ForkJoin(rand.New(rand.NewSource(3)), StructuredSpec{Subtasks: 300, MaxFan: 6})
+	maxOut := 0
+	for i := 0; i < g.NumSubtasks(); i++ {
+		if d := len(g.Out(SubtaskID(i))); d > maxOut {
+			maxOut = d
+		}
+	}
+	if maxOut < 2 {
+		t.Fatalf("max fork width %d, want >= 2", maxOut)
+	}
+}

@@ -75,6 +75,15 @@ const (
 	// CtrSpeculativeRetargeted counts speculative jobs canceled before
 	// completion because a landed point proved their cap redundant.
 	CtrSpeculativeRetargeted
+	// CtrLPRefactors counts sparse-kernel basis refactorizations (scheduled
+	// eta-file rollups plus singular-basis recoveries).
+	CtrLPRefactors
+	// CtrLPPresolveRows counts constraint rows eliminated by LP presolve.
+	CtrLPPresolveRows
+	// CtrLPPresolveCols counts columns eliminated by LP presolve.
+	CtrLPPresolveCols
+	// CtrCutsAdded counts cutting planes appended at the MILP root.
+	CtrCutsAdded
 
 	numCounters
 )
@@ -85,6 +94,7 @@ var counterNames = [numCounters]string{
 	"map_nodes", "sched_nodes",
 	"points", "slices", "rollovers", "degrades", "dominated_dropped",
 	"speculative_hits", "speculative_wasted", "speculative_retargeted",
+	"lp_refactors", "lp_presolve_rows", "lp_presolve_cols", "cuts_added",
 }
 
 func (c Counter) String() string {
@@ -132,6 +142,15 @@ const (
 	// or "retargeted" (canceled as redundant); Value is the speculated
 	// cost cap.
 	EvSpeculate
+	// EvLPRefactor: the sparse kernel refactorized its basis. Value is the
+	// number of eta updates absorbed since the previous factorization.
+	EvLPRefactor
+	// EvLPPresolve: an LP presolve pass finished. Value is the total count
+	// of eliminated rows plus columns.
+	EvLPPresolve
+	// EvCut: a cutting plane was appended at the MILP root. Value is the
+	// cut's violation at the fractional point; Label is the cut family.
+	EvCut
 
 	numEventKinds
 )
@@ -139,7 +158,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
-	"speculate",
+	"speculate", "lp_refactor", "lp_presolve", "cut",
 }
 
 func (k EventKind) String() string {

@@ -43,6 +43,7 @@ import (
 	"sos/internal/budget"
 	"sos/internal/exact"
 	"sos/internal/heur"
+	"sos/internal/lp"
 	"sos/internal/milp"
 	"sos/internal/model"
 	"sos/internal/pareto"
@@ -171,6 +172,22 @@ const (
 	EngineHeuristic
 )
 
+// LPKernel selects the simplex implementation EngineMILP uses for its
+// node relaxations.
+type LPKernel = lp.Kernel
+
+// LP kernels.
+const (
+	// LPKernelAuto picks the dense tableau for paper-scale models and the
+	// sparse revised simplex above its size threshold (the default).
+	LPKernelAuto = lp.KernelAuto
+	// LPKernelDense forces the dense tableau kernel.
+	LPKernelDense = lp.KernelDense
+	// LPKernelSparse forces the sparse revised simplex (CSC columns, LU
+	// basis with eta updates and periodic refactorization).
+	LPKernelSparse = lp.KernelSparse
+)
+
 // Spec describes one synthesis problem.
 type Spec struct {
 	// Graph is the application's task data flow graph. Required.
@@ -210,6 +227,18 @@ type Spec struct {
 	// identical frontier the sequential sweep returns (DESIGN.md §10).
 	// 0 or 1 selects the sequential sweep.
 	SweepWorkers int
+
+	// LPKernel selects the simplex kernel for EngineMILP node relaxations
+	// (default LPKernelAuto). Ignored by the other engines.
+	LPKernel LPKernel
+	// LPPresolve enables the LP presolve reduction pass (fixed-variable
+	// substitution, singleton-row folding, redundant-row elimination) on
+	// EngineMILP relaxations. Ignored by the other engines.
+	LPPresolve bool
+	// RootCuts enables cover-cut generation from knapsack rows (e.g. the
+	// cost-cap row) at the EngineMILP root before branching. Ignored by
+	// the other engines.
+	RootCuts bool
 
 	// Memory enables the §5 local-memory cost extension.
 	Memory bool
@@ -285,7 +314,12 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		st := m.Stats
 		res.ModelStats = &st
-		design, sol, err := m.Solve(ctx, &milp.Options{TimeLimit: sp.Budget, Telemetry: sp.Telemetry})
+		design, sol, err := m.Solve(ctx, &milp.Options{
+			TimeLimit: sp.Budget,
+			Telemetry: sp.Telemetry,
+			RootCuts:  sp.RootCuts,
+			LP:        &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -397,7 +431,11 @@ func sweepOptions(sp Spec) pareto.Options {
 	switch sp.Engine {
 	case EngineMILP:
 		opts.Engine = pareto.EngineMILP
-		opts.MILP = &milp.Options{TimeLimit: sp.Budget}
+		opts.MILP = &milp.Options{
+			TimeLimit: sp.Budget,
+			RootCuts:  sp.RootCuts,
+			LP:        &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
+		}
 		first = budget.RungMILP
 	default:
 		opts.Engine = pareto.EngineCombinatorial
