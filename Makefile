@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-lp perf-lp-check fuzz-smoke lint
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-lp perf-lp-check fuzz-smoke lint soak-smoke server-race
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
-## tests, and a one-iteration smoke of the headline benchmark.
-tier1: vet build test bench-smoke
+## tests, a one-iteration smoke of the headline benchmark, and a short
+## soak of the synthesis service under mixed concurrent traffic.
+tier1: vet build test bench-smoke soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +56,17 @@ perf-lp:
 ## ns/op slowdown against the committed BENCH_lp.json (the CI perf gate).
 perf-lp-check:
 	$(GO) run ./cmd/sosbench -perf-lp -check-baseline
+
+## server-race: the sosd chaos suite — fault injection, hostile clients,
+## saturation storms, shutdown under load — under the race detector.
+server-race:
+	$(GO) test -race -count=1 -timeout 5m ./internal/server ./cmd/sosd
+
+## soak-smoke: sosd under 8 concurrent mixed clients (solves, sweeps,
+## malformed bodies, probes) for ~30s, asserting zero 5xx throughout.
+## SOSD_SOAK overrides the duration (plain `go test` runs 2s).
+soak-smoke:
+	SOSD_SOAK=30s $(GO) test -race -count=1 -run 'TestSoakSmoke$$' -v -timeout 5m ./internal/server
 
 ## fuzz-smoke: ~30s of coverage-guided fuzzing over the two parsing
 ## surfaces (spec files and task-graph JSON). The corpus under testdata/

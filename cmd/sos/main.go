@@ -45,6 +45,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sos"
@@ -210,7 +212,15 @@ func run() error {
 	}
 	spec.Telemetry = ob.tel
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the solve context instead of killing the
+	// process: every engine is anytime-aware, so an interrupted run still
+	// prints (or JSON-reports) its best incumbent, the trace sink is
+	// flushed whole, and the exit status reflects what was proven. A
+	// second signal falls back to the default kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	switch {
 	case *jsonOut:
 		err = runJSON(ctx, spec, *frontier)
@@ -221,6 +231,9 @@ func run() error {
 			gantt: *gantt, trace: *trace, slack: *slack, metrics: *metrics,
 			svgPath: *saveSVG, jsonPath: *saveJSON,
 		})
+	}
+	if ctx.Err() != nil {
+		log.Print("interrupted: reported the best result found before the signal")
 	}
 	if cerr := ob.close(); cerr != nil && err == nil {
 		err = cerr

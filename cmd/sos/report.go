@@ -68,7 +68,10 @@ func setupObservability(jsonOut bool, tracePath, pprofPath, debugAddr string) (*
 	return ob, nil
 }
 
-// close flushes the profile and the trace stream.
+// close flushes the profile and the trace stream. The sink is closed
+// before its file so a canceled run's trace is flushed whole: every line
+// on disk parses, and straggler events from draining solver goroutines
+// are dropped by the quiesced sink instead of racing the file close.
 func (ob *observability) close() error {
 	if ob.profFile != nil {
 		pprof.StopCPUProfile()
@@ -76,15 +79,16 @@ func (ob *observability) close() error {
 			return err
 		}
 	}
+	var err error
+	if ob.stream != nil {
+		err = ob.stream.Close()
+	}
 	if ob.traceFile != nil {
-		if err := ob.traceFile.Close(); err != nil {
-			return err
+		if cerr := ob.traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-	if ob.stream != nil {
-		return ob.stream.Err()
-	}
-	return nil
+	return err
 }
 
 // runReport is the machine-readable run summary -json emits: the solution

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sos/internal/leakcheck"
+)
+
+const testSpec = `{
+  "graph": {
+    "name": "t",
+    "subtasks": [{"name": "A"}, {"name": "B"}],
+    "arcs": [{"src": "A", "dst": "B", "volume": 2, "fa": 1}]
+  },
+  "library": {
+    "name": "lib", "link_cost": 1, "remote_delay": 1, "local_delay": 0,
+    "types": [
+      {"name": "p1", "cost": 3, "exec": [1, 2]},
+      {"name": "p2", "cost": 2, "exec": [null, 1]}
+    ]
+  },
+  "pool": [2, 1]
+}`
+
+// TestServeSolveSigterm drives the daemon end to end in-process: boot on
+// an ephemeral port, serve a solve, deliver SIGTERM, and require a clean
+// drain (run returns nil) with the farewell stats line written.
+func TestServeSolveSigterm(t *testing.T) {
+	leakcheck.Check(t)
+	logPath := filepath.Join(t.TempDir(), "sosd.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-grace", "2s"}, logFile)
+	}()
+
+	// The listen address lands in the first log line.
+	addrRe := regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line in %s", logPath)
+		}
+		raw, _ := os.ReadFile(logPath)
+		if m := addrRe.FindSubmatch(raw); m != nil {
+			addr = string(m[1])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"spec": %s}`, testSpec)))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), `"status":"optimal"`) {
+		t.Fatalf("solve: code %d body %s", resp.StatusCode, body[:n])
+	}
+
+	// SIGTERM to our own process: run's NotifyContext catches it and
+	// drains; the test binary survives because the handler is installed.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after graceful drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sosd did not drain within 30s of SIGTERM")
+	}
+	raw, _ := os.ReadFile(logPath)
+	if !strings.Contains(string(raw), "bye: served 1") {
+		t.Errorf("missing farewell stats line; log:\n%s", raw)
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	if cfgWorkers(0) != 2 || cfgWorkers(7) != 7 {
+		t.Error("cfgWorkers defaults wrong")
+	}
+	if cfgQueue(0, 0) != 8 || cfgQueue(3, 0) != 12 || cfgQueue(3, 5) != 5 {
+		t.Error("cfgQueue defaults wrong")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run([]string{"-no-such-flag"}, devnull); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:99999"}, devnull); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

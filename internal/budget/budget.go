@@ -108,13 +108,26 @@ const (
 	defaultFloor = 5 * time.Millisecond
 )
 
-// New creates a governor over one total wall-clock budget. total <= 0
-// yields an unlimited governor (every Slice is 0 = no limit).
+// New creates a governor over one total wall-clock budget. total == 0
+// yields an unlimited governor (every Slice is 0 = no limit). total < 0 —
+// a budget already overdrawn, which multi-tenant apportioning can compute
+// when a request's deadline has passed — yields an immediately exhausted
+// governor, NOT an unlimited one: Exhausted is true from birth and
+// Allowance returns ErrExhausted instead of granting a slice.
 func New(total time.Duration) *Governor {
 	g := &Governor{frac: defaultFrac, floor: defaultFloor, now: time.Now}
-	if total > 0 {
-		g.deadline = g.now().Add(total)
+	if total != 0 {
+		g.deadline = g.now().Add(max(total, 0))
 	}
+	return g
+}
+
+// NewUntil creates a governor whose budget is the time remaining to the
+// given wall-clock deadline. A zero deadline yields an unlimited governor;
+// a deadline already in the past yields an immediately exhausted one.
+func NewUntil(deadline time.Time) *Governor {
+	g := &Governor{frac: defaultFrac, floor: defaultFloor, now: time.Now}
+	g.deadline = deadline
 	return g
 }
 
@@ -179,6 +192,22 @@ func (g *Governor) Limit(perSolve time.Duration) time.Duration {
 		g.tel.Emit(telemetry.EvSlice, 0, granted.Seconds(), "")
 	}
 	return granted
+}
+
+// Allowance is Limit with explicit exhaustion: it grants the next solve's
+// wall-clock allowance while budget remains and returns ErrExhausted the
+// moment none does. Limit's behaviour past the deadline — keep granting
+// floor slices so a degradation ladder can run its terminal rungs — is
+// exactly wrong for a server admission path: a request whose budget is
+// spent (or was computed <= 0 by multi-tenant apportioning) must get an
+// immediate BudgetExhausted answer, not an endless train of floor slices.
+// The returned error wraps ctx semantics the caller adds; here it is the
+// bare sentinel.
+func (g *Governor) Allowance(perSolve time.Duration) (time.Duration, error) {
+	if g.Exhausted() {
+		return 0, fmt.Errorf("governor: %w", ErrExhausted)
+	}
+	return g.Limit(perSolve), nil
 }
 
 // Rung names one level of the degradation ladder.

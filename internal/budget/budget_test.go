@@ -80,6 +80,162 @@ func TestGovernorLimit(t *testing.T) {
 	}
 }
 
+func TestGovernorAllowanceAtBoundary(t *testing.T) {
+	g, clock := newGoverned(time.Second)
+	// While budget remains, Allowance behaves exactly like Limit.
+	if got, err := g.Allowance(0); err != nil || got != 500*time.Millisecond {
+		t.Fatalf("Allowance(0) = %v, %v; want 500ms slice", got, err)
+	}
+	// Exactly at the deadline — the boundary — the budget is spent:
+	// Allowance must refuse immediately rather than grant a floor slice.
+	clock.advance(time.Second)
+	if _, err := g.Allowance(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Allowance at the deadline boundary = %v, want ErrExhausted", err)
+	}
+	// One nanosecond before the boundary it must still grant (the floor).
+	g2, clock2 := newGoverned(time.Second)
+	clock2.advance(time.Second - time.Nanosecond)
+	if got, err := g2.Allowance(0); err != nil || got != defaultFloor {
+		t.Fatalf("Allowance just inside the boundary = %v, %v; want floor grant", got, err)
+	}
+	// Unlimited governors never exhaust.
+	if got, err := (*Governor)(nil).Allowance(time.Second); err != nil || got != time.Second {
+		t.Fatalf("nil-governor Allowance = %v, %v", got, err)
+	}
+}
+
+func TestGovernorRolloverAtBoundary(t *testing.T) {
+	// A point that finishes just before the deadline rolls its sliver over:
+	// the next slice is the floor, not zero and not negative.
+	g, clock := newGoverned(time.Second)
+	clock.advance(time.Second - time.Millisecond)
+	if got := g.Slice(); got != defaultFloor {
+		t.Fatalf("sliver-remaining slice %v, want floor %v", got, defaultFloor)
+	}
+	if got, err := g.Allowance(0); err != nil || got != defaultFloor {
+		t.Fatalf("sliver-remaining Allowance = %v, %v; want floor", got, err)
+	}
+	// Crossing the boundary flips Allowance to ErrExhausted while Slice
+	// keeps returning the floor (the documented ladder-terminal behavior).
+	clock.advance(2 * time.Millisecond)
+	if got := g.Slice(); got != defaultFloor {
+		t.Fatalf("post-deadline slice %v, want floor %v", got, defaultFloor)
+	}
+	if _, err := g.Allowance(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("post-deadline Allowance = %v, want ErrExhausted", err)
+	}
+}
+
+func TestNewNegativeBudgetIsExhaustedNotUnlimited(t *testing.T) {
+	// A zero-or-negative remaining budget — what multi-tenant apportioning
+	// computes for a request whose deadline has passed — must yield an
+	// immediately exhausted governor, not an unlimited one.
+	g := New(-time.Second)
+	if !g.Exhausted() {
+		t.Fatal("New(negative) governor is not exhausted")
+	}
+	if _, err := g.Allowance(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("New(negative).Allowance = %v, want ErrExhausted", err)
+	}
+	if g := New(0); g.Exhausted() {
+		t.Fatal("New(0) must stay unlimited")
+	}
+}
+
+func TestNewUntil(t *testing.T) {
+	if g := NewUntil(time.Time{}); g.Exhausted() || g.Slice() != 0 {
+		t.Fatal("NewUntil(zero) must be unlimited")
+	}
+	past := NewUntil(time.Now().Add(-time.Minute))
+	if !past.Exhausted() {
+		t.Fatal("NewUntil(past) must be exhausted")
+	}
+	if _, err := past.Allowance(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("NewUntil(past).Allowance = %v, want ErrExhausted", err)
+	}
+	future := NewUntil(time.Now().Add(time.Hour))
+	if future.Exhausted() {
+		t.Fatal("NewUntil(future) must not be exhausted")
+	}
+}
+
+func TestMultiGovernorFairShare(t *testing.T) {
+	m := NewMulti(8 * time.Second)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clock.now
+
+	g1, rel1 := m.Acquire(0, time.Time{})
+	if got := g1.Remaining(); got != 8*time.Second {
+		t.Fatalf("lone request share %v, want full 8s capacity", got)
+	}
+	g2, rel2 := m.Acquire(0, time.Time{})
+	if got := g2.Remaining(); got != 4*time.Second {
+		t.Fatalf("second concurrent request share %v, want 4s (capacity/2)", got)
+	}
+	if m.Active() != 2 || m.Peak() != 2 {
+		t.Fatalf("active %d peak %d, want 2/2", m.Active(), m.Peak())
+	}
+	rel1()
+	rel1() // double release must not corrupt the active count
+	rel2()
+	if m.Active() != 0 || m.Peak() != 2 {
+		t.Fatalf("after release: active %d peak %d, want 0/2", m.Active(), m.Peak())
+	}
+	// The request's own budget and deadline tighten below the share.
+	g3, rel3 := m.Acquire(time.Second, time.Time{})
+	defer rel3()
+	if got := g3.Remaining(); got != time.Second {
+		t.Fatalf("requested-budget share %v, want the tighter 1s", got)
+	}
+	g4, rel4 := m.Acquire(0, clock.t.Add(500*time.Millisecond))
+	defer rel4()
+	if got := g4.Remaining(); got != 500*time.Millisecond {
+		t.Fatalf("deadline-bounded share %v, want the tighter 500ms", got)
+	}
+}
+
+func TestMultiGovernorPastDeadlineIsExhausted(t *testing.T) {
+	m := NewMulti(time.Minute)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clock.now
+	g, rel := m.Acquire(time.Second, clock.t.Add(-time.Millisecond))
+	defer rel()
+	if !g.Exhausted() {
+		t.Fatal("past-deadline acquisition must be exhausted")
+	}
+	if _, err := g.Allowance(0); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("past-deadline Allowance = %v, want ErrExhausted", err)
+	}
+}
+
+func TestMultiGovernorShareFloorAndNil(t *testing.T) {
+	m := NewMulti(100 * time.Millisecond)
+	var rels []func()
+	for i := 0; i < 50; i++ {
+		_, rel := m.Acquire(0, time.Time{})
+		rels = append(rels, rel)
+	}
+	g, rel := m.Acquire(0, time.Time{})
+	rels = append(rels, rel)
+	if got := g.Remaining(); got < defaultShareFloor/2 {
+		t.Fatalf("share under burst %v collapsed below the floor", got)
+	}
+	for _, r := range rels {
+		r()
+	}
+	// A nil MultiGovernor applies no apportioning but still honors the
+	// request's own budget.
+	var nilm *MultiGovernor
+	g2, rel2 := nilm.Acquire(2*time.Second, time.Time{})
+	defer rel2()
+	if got := g2.Remaining(); got < time.Second || got > 2*time.Second {
+		t.Fatalf("nil-multi Acquire remaining %v, want ~2s", got)
+	}
+	if nilm.Active() != 0 || nilm.Peak() != 0 {
+		t.Fatal("nil-multi counters must be zero")
+	}
+}
+
 func TestExhaustedWrapsSentinelAndContext(t *testing.T) {
 	err := Exhausted(context.Background(), "point %d", 3)
 	if !errors.Is(err, ErrExhausted) {

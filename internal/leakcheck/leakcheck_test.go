@@ -1,0 +1,70 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestPoolWorkersReaped(t *testing.T) {
+	Check(t)
+	stop := make(chan struct{})
+	acked := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			<-stop
+			acked <- struct{}{}
+		}()
+	}
+	close(stop)
+	for i := 0; i < 8; i++ {
+		<-acked
+	}
+}
+
+// TestDetectsLeak exercises the detector itself against a deliberately
+// leaked goroutine, using a throwaway testing.TB so the real test does
+// not fail.
+func TestDetectsLeak(t *testing.T) {
+	before := snapshot()
+	release := make(chan struct{})
+	defer close(release)
+	go func() { <-release }()
+	// The leaked goroutine parks on a channel receive; give it a moment
+	// to reach a stable stack.
+	var leaked []string
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		leaked = leakedSince(before)
+		if len(leaked) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(leaked) == 0 {
+		t.Fatal("detector missed a deliberately leaked goroutine")
+	}
+	if !strings.Contains(strings.Join(leaked, ""), "TestDetectsLeak") {
+		t.Fatalf("leak report does not name the leaking function:\n%s", strings.Join(leaked, "\n"))
+	}
+}
+
+func TestNormalizeFiltersHarness(t *testing.T) {
+	if _, ok := normalize("goroutine 7 [running]:\ntesting.tRunner(0xc000102d00, 0x1)\n\t/usr/local/go/src/testing/testing.go:1576 +0x10b"); ok {
+		t.Error("harness goroutine not filtered")
+	}
+	norm, ok := normalize("goroutine 9 [chan receive]:\nsos/internal/server.worker(0xc0000a4000)\n\t/root/repo/internal/server/server.go:100 +0x50")
+	if !ok {
+		t.Fatal("real goroutine filtered out")
+	}
+	if strings.Contains(norm, "0xc0000a4000") {
+		t.Errorf("addresses not normalized: %q", norm)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sos/internal/leakcheck"
 	"sos/internal/lp"
 )
 
@@ -14,6 +15,7 @@ import (
 // random 0/1 problems, across worker counts and search strategies. (The
 // argmin may differ on ties; the proven optimum may not.)
 func TestParallelMatchesSequential(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 30; trial++ {
 		p, cols := buildRandomMIP(rng, 6+rng.Intn(8), 2+rng.Intn(4))
@@ -46,6 +48,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // nothing about the result: for both sequential and parallel searches, the
 // ColdLP ablation and the default warm path prove the same optimum.
 func TestParallelWarmMatchesCold(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 20; trial++ {
 		p, cols := buildRandomMIP(rng, 6+rng.Intn(8), 2+rng.Intn(4))
@@ -75,6 +78,7 @@ func TestParallelWarmMatchesCold(t *testing.T) {
 // parallel search before any node is explored, without deadlocking the
 // worker pool.
 func TestParallelCanceledContext(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(41))
 	p, cols := buildRandomMIP(rng, 12, 4)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -91,6 +95,7 @@ func TestParallelCanceledContext(t *testing.T) {
 // TestParallelSharedIncumbent checks the shared incumbent seeds every
 // worker: with a supplied optimal incumbent, the parallel search keeps it.
 func TestParallelSharedIncumbent(t *testing.T) {
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(59))
 	for trial := 0; trial < 10; trial++ {
 		p, cols := buildRandomMIP(rng, 8, 3)
@@ -113,6 +118,7 @@ func TestParallelSharedIncumbent(t *testing.T) {
 // TestPseudoCostConcurrent hammers the shared pseudo-cost history from
 // many goroutines (meaningful under -race, which tier-1 runs).
 func TestPseudoCostConcurrent(t *testing.T) {
+	leakcheck.Check(t)
 	pc := newPseudoCost()
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {

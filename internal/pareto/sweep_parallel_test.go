@@ -11,6 +11,7 @@ import (
 	"sos/internal/budget"
 	"sos/internal/exact"
 	"sos/internal/expts"
+	"sos/internal/leakcheck"
 	"sos/internal/milp"
 	"sos/internal/model"
 	"sos/internal/taskgraph"
@@ -42,6 +43,7 @@ func frontiersIdentical(t *testing.T, seq, par []Point) {
 // statuses — with the race detector watching the shared templates,
 // incumbent pool, and job queue.
 func TestParallelSweepMatchesSequentialMILP(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
 	}
@@ -77,6 +79,7 @@ func TestParallelSweepMatchesSequentialMILP(t *testing.T) {
 // combinatorial engine over all three table workloads, so every topology's
 // parallel path gets -race coverage in every test run (including -short).
 func TestParallelSweepMatchesSequentialCombinatorial(t *testing.T) {
+	leakcheck.Check(t)
 	g1, lib1 := expts.Example1()
 	g2, lib2 := expts.Example2()
 	workloads := []struct {
@@ -116,6 +119,7 @@ func TestParallelSweepMatchesSequentialCombinatorial(t *testing.T) {
 // many points and speculative jobs it solves, and at least one clone per
 // lexicographic solve.
 func TestParallelSweepBuildAmortization(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
 	}
@@ -147,6 +151,7 @@ func TestParallelSweepBuildAmortization(t *testing.T) {
 // gracefully: the failed job is retried inline by the reconciler and the
 // frontier comes back complete and correct.
 func TestParallelSweepFaultInjection(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
 	}
@@ -187,6 +192,7 @@ func TestParallelSweepFaultInjection(t *testing.T) {
 // accounted: with a StartCap the grid is non-empty, and every speculative
 // job ends classified as exactly one of hit, wasted, or retargeted.
 func TestParallelSweepSpeculationTelemetry(t *testing.T) {
+	leakcheck.Check(t)
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
 	tel := telemetry.New(nil)
@@ -215,6 +221,7 @@ func TestParallelSweepSpeculationTelemetry(t *testing.T) {
 // returned point must respect the frontier invariant (decreasing cost,
 // strictly increasing makespan).
 func TestParallelSweepGovernedLadder(t *testing.T) {
+	leakcheck.Check(t)
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
 	points, err := Sweep(context.Background(), g, pool, arch.PointToPoint{}, Options{

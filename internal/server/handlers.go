@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"sos/internal/telemetry"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/solve     one synthesis; body is a SolveRequest
+//	POST /v1/sweep     one Pareto frontier sweep; same body shape
+//	GET  /v1/jobs/{id} a job record (done jobs keep their full response)
+//	GET  /v1/stats     telemetry counters + queue/governor gauges
+//	GET  /healthz      liveness: always 200 while the process runs
+//	GET  /readyz       readiness: 503 while draining or the queue is full
+//
+// Every response body on every path is well-formed JSON, including
+// refusals and failures — that invariant is what the chaos suite pins.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, kindSolve)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, kindSweep)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Health probes are lock-free and allocation-light: they must answer
+	// instantly even while every worker is wedged in a pathological solve.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		occ, depth := s.Queue()
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": OutcomeDraining})
+			return
+		}
+		if occ >= depth {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+// handleSubmit is the shared solve/sweep entry: decode, validate, admit,
+// then wait for the job against the client connection. A disconnect
+// while waiting cancels the job's context; the worker still records the
+// outcome (with any anytime incumbent) on the job record.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind jobKind) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.refuse(w, http.StatusRequestEntityTooLarge, OutcomeShed,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), 0)
+			return
+		}
+		s.refuse(w, http.StatusBadRequest, OutcomeError, "invalid request body: "+err.Error(), 0)
+		return
+	}
+
+	spec, budget, deadline, anytime, err := s.toSpec(&req)
+	if err != nil {
+		var bad errBadRequest
+		if errors.As(err, &bad) {
+			s.refuse(w, http.StatusBadRequest, OutcomeError, bad.Error(), 0)
+		} else {
+			s.refuse(w, http.StatusInternalServerError, OutcomeError, err.Error(), 0)
+		}
+		return
+	}
+
+	j := s.newJob(kind, spec, budget, deadline, anytime)
+	s.jobs.add(j)
+	if err := s.admit(j); err != nil {
+		s.tel.Inc(telemetry.CtrReqShed)
+		outcome, code := OutcomeShed, http.StatusTooManyRequests
+		if errors.Is(err, errDraining) {
+			outcome, code = OutcomeDraining, http.StatusServiceUnavailable
+		}
+		j.complete(&Response{ID: j.id, Kind: kind.String(), Status: outcome,
+			HTTP: code, Error: err.Error()})
+		s.refuse(w, code, outcome, err.Error(), s.cfg.RetryAfter)
+		return
+	}
+	s.tel.Inc(telemetry.CtrReqAdmitted)
+
+	select {
+	case <-j.done:
+		resp := j.resp
+		if resp.HTTP == StatusClientClosedRequest {
+			// The worker observed the cancel, but this client is still here
+			// (e.g. shutdown-grace cancel): deliver the partial result.
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if resp.HTTP == http.StatusTooManyRequests && resp.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSeconds))
+		}
+		writeJSON(w, resp.HTTP, resp)
+	case <-r.Context().Done():
+		// Client gone: propagate the cancel into the solve and wait for the
+		// worker to publish the (canceled/anytime) outcome on the record, so
+		// the job id remains queryable. This wait is bounded: cancellation
+		// is threaded through every engine.
+		j.cancel()
+		<-j.done
+	}
+}
+
+// handleJob serves a job record: state, and the full response once done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"status": "unknown", "error": "no such job (evicted or never admitted)", "id": id})
+		return
+	}
+	st := j.currentState()
+	if st != stateDone {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"id": j.id, "kind": j.kind.String(), "status": st})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.resp)
+}
+
+// handleStats reports counters and live gauges.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	occ, depth := s.Queue()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue_occupied": occ,
+		"queue_depth":    depth,
+		"draining":       s.Draining(),
+		"active":         s.gov.Active(),
+		"peak_active":    s.gov.Peak(),
+		"pressure":       s.pressure(),
+		"counters": map[string]int64{
+			"req_admitted": s.tel.Get(telemetry.CtrReqAdmitted),
+			"req_served":   s.tel.Get(telemetry.CtrReqServed),
+			"req_shed":     s.tel.Get(telemetry.CtrReqShed),
+			"req_degraded": s.tel.Get(telemetry.CtrReqDegraded),
+			"req_canceled": s.tel.Get(telemetry.CtrReqCanceled),
+			"req_panics":   s.tel.Get(telemetry.CtrReqPanics),
+		},
+	})
+}
+
+// refuse writes a well-formed JSON refusal with an optional Retry-After.
+func (s *Server) refuse(w http.ResponseWriter, code int, status, msg string, retryAfter time.Duration) {
+	resp := &Response{Status: status, HTTP: code, Error: msg}
+	if retryAfter > 0 {
+		resp.RetryAfterSeconds = retryAfterSeconds(retryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSeconds))
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeJSON writes v as a JSON body. Encoding failures cannot be
+// reported to the client (headers are gone); they would indicate a bug
+// in our own marshalers, which json.go keeps JSON-safe.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sos"
+	"sos/internal/budget"
+	"sos/internal/telemetry"
+)
+
+// rungFor maps a requested engine onto its ladder entry rung.
+func rungFor(e sos.Engine) budget.Rung {
+	switch e {
+	case sos.EngineMILP:
+		return budget.RungMILP
+	case sos.EngineHeuristic:
+		return budget.RungHeuristic
+	default:
+		return budget.RungCombinatorial
+	}
+}
+
+// engineFor maps a ladder rung back onto the engine that runs it.
+func engineFor(r budget.Rung) sos.Engine {
+	switch r {
+	case budget.RungMILP:
+		return sos.EngineMILP
+	case budget.RungHeuristic:
+		return sos.EngineHeuristic
+	default:
+		return sos.EngineCombinatorial
+	}
+}
+
+// objective returns the value a result minimizes, for picking the best
+// incumbent across rungs.
+func objective(sp sos.Spec, res *sos.Result) float64 {
+	if res == nil || res.Design == nil {
+		return 0
+	}
+	if sp.Objective == sos.MinCost {
+		return res.Design.Cost
+	}
+	return res.Design.Makespan
+}
+
+// runSolve walks the degradation ladder for one request: the entry rung
+// is the requested engine stepped down by current queue pressure; each
+// rung runs under a governor allowance; the first proof wins; a
+// non-proof keeps the best incumbent and falls through to the next
+// (cheaper) rung. The walk is honest: the response carries the rung that
+// produced the result and whether the request was degraded at all.
+func (s *Server) runSolve(j *job, gov *budget.Governor, workerID int) *Response {
+	requested := rungFor(j.spec.Engine)
+	ladder := budget.DefaultLadder(requested)
+	start := 0
+	if j.anytime {
+		if start = s.pressure(); start > len(ladder)-1 {
+			start = len(ladder) - 1
+		}
+	} else {
+		ladder = ladder[:1] // degradation forbidden: one rung only
+	}
+
+	ctx := j.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+
+	var best, last *sos.Result
+	var bestRung budget.Rung
+	var lastErr error
+	rungsRun := 0
+	for i := start; i < len(ladder); i++ {
+		r := ladder[i]
+		if i > start {
+			s.tel.Emit(telemetry.EvDegrade, workerID, 0, r.String())
+		}
+		allowance, aerr := gov.Allowance(0)
+		if aerr != nil {
+			// Budget spent. The terminal heuristic is effectively free and
+			// always terminates: when degradation is allowed and no design
+			// exists yet, run it once so the client gets an incumbent
+			// instead of nothing. Everything else stops here — this is the
+			// no-floor-slice-spin contract (budget.Allowance).
+			if !(j.anytime && best == nil && r == budget.RungHeuristic) {
+				break
+			}
+			allowance = 0 // the heuristic ignores its budget
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		sp := j.spec
+		sp.Engine = engineFor(r)
+		sp.Budget = allowance
+		res, err := s.synthesize(ctx, sp)
+		rungsRun++
+		if err != nil {
+			// A crashed or failed rung is itself degraded around: the next
+			// (cheaper, independent) rung still gets its chance.
+			lastErr = err
+			continue
+		}
+		last = res
+		switch res.Status {
+		case sos.StatusOptimal:
+			return s.solveResponse(j, res, r, r != requested || i > start)
+		case sos.StatusInfeasible:
+			if r != budget.RungHeuristic {
+				// Exact proof of infeasibility is authoritative.
+				return s.solveResponse(j, res, r, r != requested || i > start)
+			}
+			// The heuristic "failing to find" proves nothing; fall through.
+		case sos.StatusFeasible:
+			if best == nil || objective(j.spec, res) < objective(j.spec, best) {
+				best, bestRung = res, r
+			}
+		}
+		if j.ctx.Err() != nil {
+			break
+		}
+	}
+
+	degraded := best != nil && (bestRung != requested || start > 0)
+	switch {
+	case j.ctx.Err() != nil:
+		// Client disconnect or shutdown cancel: keep the best anytime
+		// incumbent on the record rather than discarding the work.
+		resp := s.solveResponse(j, best, bestRung, degraded)
+		resp.Status = OutcomeCanceled
+		resp.HTTP = StatusClientClosedRequest
+		resp.Error = "request canceled: " + j.ctx.Err().Error()
+		return resp
+	case best != nil:
+		return s.solveResponse(j, best, bestRung, degraded)
+	case lastErr != nil && rungsRun > 0 && last == nil:
+		// Every rung that ran failed outright.
+		return &Response{Status: OutcomeError, HTTP: http.StatusInternalServerError,
+			Error: lastErr.Error()}
+	default:
+		// No incumbent, no proof, budget gone: the honest answer.
+		resp := s.solveResponse(j, last, requested, start > 0)
+		resp.Status = sos.StatusBudgetExhausted.String()
+		return resp
+	}
+}
+
+// solveResponse builds the common served-response shape.
+func (s *Server) solveResponse(j *job, res *sos.Result, rung budget.Rung, degraded bool) *Response {
+	resp := &Response{HTTP: http.StatusOK, Degraded: degraded}
+	if res != nil {
+		resp.Status = res.Status.String()
+		resp.Result = res
+		resp.Rung = rung.String()
+	} else {
+		resp.Status = sos.StatusBudgetExhausted.String()
+	}
+	return resp
+}
+
+// runSweep runs a frontier sweep under the request governor: the whole
+// remaining allowance becomes the sweep budget, the engine is stepped
+// down under pressure, and per-point degradation inside the sweep is
+// delegated to the pareto ladder (Spec.Anytime).
+func (s *Server) runSweep(j *job, gov *budget.Governor) *Response {
+	sp := j.spec
+	requested := rungFor(sp.Engine)
+	rung := requested
+	if j.anytime {
+		sp.Anytime = true
+		if s.pressure() > 0 && rung == budget.RungMILP {
+			// A sweep needs an exact engine to certify points; pressure
+			// steps MILP down to the (much faster) combinatorial engine.
+			rung = budget.RungCombinatorial
+			sp.Engine = sos.EngineCombinatorial
+		}
+	}
+	if _, err := gov.Allowance(0); err != nil {
+		return &Response{Status: sos.StatusBudgetExhausted.String(), HTTP: http.StatusOK,
+			Rung: rung.String(), Degraded: rung != requested,
+			Error: "request budget exhausted before the sweep started"}
+	}
+	if rem := gov.Remaining(); rem < time.Duration(1)<<62 {
+		sp.SweepBudget = rem
+	}
+
+	ctx := j.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+
+	pts, err := s.frontier(ctx, sp)
+	resp := &Response{HTTP: http.StatusOK, Frontier: pts,
+		Rung: rung.String(), Degraded: rung != requested}
+	for _, p := range pts {
+		if p.Status != sos.StatusOptimal {
+			resp.Degraded = true
+		}
+	}
+	switch {
+	case err == nil && !resp.Degraded:
+		resp.Status = sos.StatusOptimal.String()
+	case err == nil:
+		resp.Status = sos.StatusFeasible.String()
+	case j.ctx.Err() != nil:
+		resp.Status = OutcomeCanceled
+		resp.HTTP = StatusClientClosedRequest
+		resp.Error = "request canceled: " + j.ctx.Err().Error()
+	case errors.Is(err, sos.ErrBudgetExhausted):
+		// Partial frontier: certified prefix plus the typed exhaustion.
+		resp.Degraded = true
+		if len(pts) > 0 {
+			resp.Status = sos.StatusFeasible.String()
+		} else {
+			resp.Status = sos.StatusBudgetExhausted.String()
+		}
+		resp.Error = err.Error()
+	default:
+		resp.Status = OutcomeError
+		resp.HTTP = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	return resp
+}
+
+// frontier wraps the sweep with the same request-boundary panic isolation
+// as synthesize.
+func (s *Server) frontier(ctx context.Context, sp sos.Spec) (pts []sos.FrontierPoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.tel.Inc(telemetry.CtrReqPanics)
+			err = fmt.Errorf("solver panic: %v", r)
+		}
+	}()
+	return sos.Frontier(ctx, sp)
+}

@@ -15,6 +15,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -85,6 +86,25 @@ const (
 	// CtrCutsAdded counts cutting planes appended at the MILP root.
 	CtrCutsAdded
 
+	// CtrReqAdmitted counts service requests accepted onto the solve queue.
+	CtrReqAdmitted
+	// CtrReqServed counts service requests that ran to a response (any
+	// solver status, including budget-exhausted and infeasible).
+	CtrReqServed
+	// CtrReqShed counts requests refused or dropped by admission control:
+	// queue-full rejections plus queued requests whose deadline could no
+	// longer be met when a worker reached them.
+	CtrReqShed
+	// CtrReqDegraded counts requests served below their requested ladder
+	// rung (load pressure or budget exhaustion stepped them down).
+	CtrReqDegraded
+	// CtrReqCanceled counts requests whose context was canceled (client
+	// disconnect or shutdown) before a response could be delivered.
+	CtrReqCanceled
+	// CtrReqPanics counts solves that panicked and were isolated at the
+	// request boundary.
+	CtrReqPanics
+
 	numCounters
 )
 
@@ -95,6 +115,7 @@ var counterNames = [numCounters]string{
 	"points", "slices", "rollovers", "degrades", "dominated_dropped",
 	"speculative_hits", "speculative_wasted", "speculative_retargeted",
 	"lp_refactors", "lp_presolve_rows", "lp_presolve_cols", "cuts_added",
+	"req_admitted", "req_served", "req_shed", "req_degraded", "req_canceled", "req_panics",
 }
 
 func (c Counter) String() string {
@@ -151,6 +172,10 @@ const (
 	// EvCut: a cutting plane was appended at the MILP root. Value is the
 	// cut's violation at the fractional point; Label is the cut family.
 	EvCut
+	// EvRequest: a service request reached a terminal outcome. Label is the
+	// outcome (a solver status, "shed", "canceled", or "panic"); Value is
+	// the request's wall-clock seconds from admission to outcome.
+	EvRequest
 
 	numEventKinds
 )
@@ -158,7 +183,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
-	"speculate", "lp_refactor", "lp_presolve", "cut",
+	"speculate", "lp_refactor", "lp_presolve", "cut", "request",
 }
 
 func (k EventKind) String() string {
@@ -300,27 +325,67 @@ func (s *RingSink) Events() []Event {
 	return out
 }
 
-// StreamSink writes each event as one JSON line. Writes are serialized;
-// encode errors are remembered (first wins) rather than propagated into
-// solver hot paths.
+// StreamSink writes each event as one JSON line through an internal
+// buffer. Writes are serialized; encode errors are remembered (first wins)
+// rather than propagated into solver hot paths.
+//
+// Shutdown contract: a canceled or truncated run still produces a
+// parseable trace. Close flushes the buffer and permanently quiesces the
+// sink — events emitted after Close (stragglers from draining workers)
+// are dropped silently, never half-written into a file the caller is
+// about to close. The underlying writer is NOT closed (the caller may
+// have handed in os.Stderr); close it after Close returns.
 type StreamSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	closed bool
 }
 
 // NewStreamSink creates a JSONL event stream over w.
 func NewStreamSink(w io.Writer) *StreamSink {
-	return &StreamSink{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &StreamSink{bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit implements Sink.
+// Emit implements Sink. Events arriving after Close are dropped.
 func (s *StreamSink) Emit(e Event) {
 	s.mu.Lock()
-	if err := s.enc.Encode(e); err != nil && s.err == nil {
-		s.err = err
+	if !s.closed {
+		if err := s.enc.Encode(e); err != nil && s.err == nil {
+			s.err = err
+		}
 	}
 	s.mu.Unlock()
+}
+
+// Flush forces buffered lines to the underlying writer and reports the
+// sink's first error, if any.
+func (s *StreamSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and quiesces the sink: all complete events reach the
+// writer, later Emits become no-ops, and the first error over the sink's
+// lifetime is returned. Safe to call more than once and safe to call
+// concurrently with Emit — which is exactly the shutdown race a canceled
+// run produces.
+func (s *StreamSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		if err := s.bw.Flush(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
 }
 
 // Err reports the first encode failure, if any.

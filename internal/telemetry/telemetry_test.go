@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -107,7 +108,7 @@ func TestStreamSinkJSONL(t *testing.T) {
 	c := New(sink)
 	c.Emit(EvIncumbent, 2, 3.5, "")
 	c.Emit(EvLPResolve, 0, math.Inf(1), "warm") // non-finite payload must not poison the stream
-	if err := sink.Err(); err != nil {
+	if err := sink.Flush(); err != nil {
 		t.Fatalf("stream error: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -128,6 +129,62 @@ func TestStreamSinkJSONL(t *testing.T) {
 	}
 	if v, ok := raw["value"]; ok && v != nil {
 		t.Errorf("non-finite value serialized as %v, want omitted or null", v)
+	}
+}
+
+// TestStreamSinkCloseMidWrite is the truncated-run contract: a trace cut
+// off by cancellation/shutdown while workers are still emitting must
+// still be a parseable JSONL file. Close races with concurrent Emits;
+// whatever made it in before Close must be complete lines, and stragglers
+// after Close are dropped rather than half-written.
+func TestStreamSinkCloseMidWrite(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewStreamSink(&buf)
+	c := New(sink)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-ctx.Done():
+					// Simulate a straggler emitting after shutdown began.
+					c.Emit(EvNodeExpand, worker, float64(i), "straggler")
+					return
+				default:
+					c.Emit(EvIncumbent, worker, float64(i), "mid-write")
+				}
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond) // let the stream accumulate mid-write
+	cancel()
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	before := buf.Len()
+	if err := sink.Close(); err != nil { // idempotent
+		t.Fatalf("second close: %v", err)
+	}
+	c.Emit(EvIncumbent, 0, 1, "post-close") // dropped, not half-written
+	if buf.Len() != before {
+		t.Fatal("emit after Close leaked bytes into the stream")
+	}
+
+	// Every line of the truncated trace must parse.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("mid-write close produced an empty trace")
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d of truncated trace is not valid JSON: %v\n%q", i, err, line)
+		}
 	}
 }
 

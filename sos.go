@@ -249,7 +249,23 @@ type Spec struct {
 	// (when its sink is set) trace events across the whole solve or sweep.
 	// Nil disables all instrumentation at negligible cost.
 	Telemetry *Telemetry
+
+	// Hooks injects solver failpoints — crash a worker mid-node, reject
+	// warm starts, cap LP iterations — into EngineMILP solves, letting
+	// fault suites drive degraded paths from the very top of the stack
+	// (e.g. the sosd request boundary) without reaching into internals.
+	// Nil in production; ignored by the other engines.
+	Hooks *SolverHooks
 }
+
+// SolverHooks are failpoint injection points for fault testing the MILP
+// engine end to end; see the fields' docs in internal/milp. Production
+// callers leave Spec.Hooks nil.
+type SolverHooks = milp.Hooks
+
+// LPHooks are failpoint injection points for the LP relaxation layer,
+// reachable via SolverHooks.LP.
+type LPHooks = lp.Hooks
 
 func (s *Spec) withDefaults() (Spec, error) {
 	out := *s
@@ -318,6 +334,7 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 			TimeLimit: sp.Budget,
 			Telemetry: sp.Telemetry,
 			RootCuts:  sp.RootCuts,
+			Hooks:     sp.Hooks,
 			LP:        &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
 		})
 		if err != nil {
