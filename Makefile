@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-lp perf-lp-check fuzz-smoke lint soak-smoke server-race
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-sweep-check perf-lp perf-lp-check perf-cache perf-cache-check fuzz-smoke lint soak-smoke server-race
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, a one-iteration smoke of the headline benchmark, and a short
@@ -46,6 +46,11 @@ perf:
 perf-sweep:
 	$(GO) run ./cmd/sosbench -perf-sweep
 
+## perf-sweep-check: re-measure the sweep-scaling workloads and fail on a
+## >20% ns/op slowdown against the committed BENCH_sweep.json (CI gate).
+perf-sweep-check:
+	$(GO) run ./cmd/sosbench -perf-sweep -check-baseline
+
 ## perf-lp: LP-kernel throughput report (dense tableau vs sparse revised
 ## simplex vs sparse+presolve) on pinned workloads, written to
 ## BENCH_lp.json. Commit the refreshed file with perf-affecting PRs.
@@ -56,6 +61,18 @@ perf-lp:
 ## ns/op slowdown against the committed BENCH_lp.json (the CI perf gate).
 perf-lp-check:
 	$(GO) run ./cmd/sosbench -perf-lp -check-baseline
+
+## perf-cache: result-cache report — repeat-heavy p50 with/without the
+## cache, zero-hit overhead, near-miss warm-start node counts — written
+## to BENCH_cache.json.
+perf-cache:
+	$(GO) run ./cmd/sosbench -perf-cache
+
+## perf-cache-check: re-measure and fail unless the cache holds its
+## bars: >=5x repeat-heavy p50, <5% zero-hit overhead, warm starts never
+## enlarging the MILP search (the CI cache gate).
+perf-cache-check:
+	$(GO) run ./cmd/sosbench -perf-cache -check-baseline
 
 ## server-race: the sosd chaos suite — fault injection, hostile clients,
 ## saturation storms, shutdown under load — under the race detector.
@@ -68,9 +85,12 @@ server-race:
 soak-smoke:
 	SOSD_SOAK=30s $(GO) test -race -count=1 -run 'TestSoakSmoke$$' -v -timeout 5m ./internal/server
 
-## fuzz-smoke: ~30s of coverage-guided fuzzing over the two parsing
-## surfaces (spec files and task-graph JSON). The corpus under testdata/
-## pins every crasher ever found; plain `go test` replays it as seeds.
+## fuzz-smoke: ~45s of coverage-guided fuzzing over the two parsing
+## surfaces (spec files and task-graph JSON) and the cache's canonical
+## key (rename/reorder invariance, no semantic collisions). The corpus
+## under testdata/ pins every crasher ever found; plain `go test`
+## replays it as seeds.
 fuzz-smoke:
 	$(GO) test -run NO_TESTS -fuzz 'FuzzSpecfile$$' -fuzztime 15s ./internal/specfile
 	$(GO) test -run NO_TESTS -fuzz 'FuzzGraphValidate$$' -fuzztime 15s ./internal/taskgraph
+	$(GO) test -run NO_TESTS -fuzz 'FuzzCanonicalKey$$' -fuzztime 15s ./internal/cache

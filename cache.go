@@ -1,0 +1,152 @@
+package sos
+
+import (
+	"context"
+
+	icache "sos/internal/cache"
+	"sos/internal/schedule"
+)
+
+// maxWarmStarts bounds how many cached near-miss designs seed one solve.
+const maxWarmStarts = 4
+
+// CacheOptions configures NewCache.
+type CacheOptions struct {
+	// Capacity bounds the number of cached proofs (<= 0 selects 4096).
+	Capacity int
+	// Shards is the number of independently locked cache segments
+	// (<= 0 selects 16).
+	Shards int
+	// PersistPath, when non-empty, appends every stored proof to a JSONL
+	// spill file and warm-loads existing lines at construction, so a
+	// restarted process starts with its proofs back.
+	PersistPath string
+	// Telemetry receives the cache_* counters and EvCache trace events.
+	Telemetry *Telemetry
+}
+
+// Cache is a cross-request result cache: a sharded LRU of proved results
+// keyed by a canonical content hash of the problem, with single-flight
+// deduplication of concurrent identical requests. Attach one to
+// Spec.Cache (or server.Config.Cache) and share it across requests; all
+// methods are safe for concurrent use.
+//
+// Only proofs (StatusOptimal, StatusInfeasible) are ever stored or
+// served, and a proof at one cost cap also answers nearby caps via the
+// cover-down rule — see DESIGN.md §13 for the soundness argument.
+type Cache struct {
+	c *icache.Cache
+}
+
+// NewCache builds a result cache.
+func NewCache(opts CacheOptions) (*Cache, error) {
+	c, err := icache.New(icache.Options{
+		Capacity:    opts.Capacity,
+		Shards:      opts.Shards,
+		PersistPath: opts.PersistPath,
+		Telemetry:   opts.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{c: c}, nil
+}
+
+// Close flushes and closes the persistent spill, if any.
+func (c *Cache) Close() error { return c.c.Close() }
+
+// Len reports the number of cached proofs.
+func (c *Cache) Len() int { return c.c.Len() }
+
+// Loaded reports how many persisted proofs were restored (and how many
+// spill lines were skipped as corrupt or stale) at construction.
+func (c *Cache) Loaded() (restored, skipped int) { return c.c.Loaded() }
+
+// probe canonicalizes a defaulted spec into a cache probe.
+func (c *Cache) probe(sp Spec) (*icache.Probe, error) {
+	obj := icache.MinMakespan
+	if sp.Objective == MinCost {
+		obj = icache.MinCost
+	}
+	return icache.Prepare(icache.Request{
+		Graph:       sp.Graph,
+		Pool:        sp.Pool,
+		Topo:        sp.Topology,
+		Objective:   obj,
+		CostCap:     sp.CostCap,
+		Deadline:    sp.Deadline,
+		Memory:      sp.Memory,
+		NoOverlapIO: sp.NoOverlapIO,
+	})
+}
+
+// synthesize is the cached solve path. ok=false means the spec turned
+// out to be uncacheable and the caller should solve directly.
+func (c *Cache) synthesize(ctx context.Context, sp Spec) (*Result, error, bool) {
+	p, err := c.probe(sp)
+	if err != nil {
+		return nil, nil, false
+	}
+	if hit := c.c.Lookup(p); hit != nil {
+		return resultFromHit(sp, hit), nil, true
+	}
+
+	// Miss: solve, deduplicating concurrent identical requests. The
+	// single-flight leader solves under its own context and stores any
+	// proof before followers wake.
+	var res *Result
+	var solveErr error
+	shared, _ := c.c.Do(ctx, p.Key(), func() error {
+		res, solveErr = c.solveStore(ctx, sp, p)
+		return solveErr
+	})
+	if !shared {
+		return res, solveErr, true
+	}
+
+	// Follower: the leader finished (or our wait was canceled). Its
+	// result references the leader's problem objects, not ours, so
+	// re-probe the cache — Lookup remaps the stored proof into our
+	// frame. If the leader produced no proof (failed, canceled, budget
+	// ran out), fall back to our own solve; a canceled follower context
+	// surfaces through the engines' normal cancellation paths.
+	if hit := c.c.Lookup(p); hit != nil {
+		return resultFromHit(sp, hit), nil, true
+	}
+	r, err := c.solveStore(ctx, sp, p)
+	return r, err, true
+}
+
+// solveStore solves with cached near-miss warm starts injected and
+// stores the result back when it is a proof.
+func (c *Cache) solveStore(ctx context.Context, sp Spec, p *icache.Probe) (*Result, error) {
+	warm := c.c.WarmStarts(p, maxWarmStarts)
+	res, err := solve(ctx, sp, warm)
+	if err == nil {
+		c.storeProof(p, res)
+	}
+	return res, err
+}
+
+// resultFromHit converts a served cache hit into a Result. The hit's
+// design is already remapped onto this spec's graph/pool and re-validated
+// by the cache layer.
+func resultFromHit(sp Spec, hit *icache.Hit) *Result {
+	res := &Result{Engine: sp.Engine, Cached: true}
+	if hit.Infeasible {
+		res.Status = StatusInfeasible
+		res.Infeasible = true
+		return res
+	}
+	res.Design = hit.Design
+	res.Status = StatusOptimal
+	res.Optimal = true
+	res.Bound = hit.Bound
+	return res
+}
+
+// warmDesignsFor exposes cached near-miss designs for a spec (used by
+// the batch path to seed grouped solves).
+func (c *Cache) warmDesignsFor(p *icache.Probe, max int) []*schedule.Design {
+	return c.c.WarmStarts(p, max)
+}

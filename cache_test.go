@@ -1,0 +1,490 @@
+package sos
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/leakcheck"
+	"sos/internal/telemetry"
+)
+
+func testCache(t *testing.T, opts CacheOptions) *Cache {
+	t.Helper()
+	c, err := NewCache(opts)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func cachedExample1Spec(c *Cache, engine Engine, costCap float64) Spec {
+	g, lib := expts.Example1()
+	return Spec{Graph: g, Library: lib, Pool: expts.Example1Pool(lib), CostCap: costCap, Engine: engine, Cache: c}
+}
+
+// TestSynthesizeCached: a repeat request is served from the cache with an
+// identical result, marked Cached, without running a solver.
+func TestSynthesizeCached(t *testing.T) {
+	for _, engine := range []Engine{EngineAuto, EngineMILP} {
+		tel := telemetry.New(nil)
+		c := testCache(t, CacheOptions{Telemetry: tel})
+		sp := cachedExample1Spec(c, engine, 7)
+
+		r1, err := Synthesize(context.Background(), sp)
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if r1.Cached || r1.Status != StatusOptimal {
+			t.Fatalf("engine %v: first solve: cached=%v status=%v", engine, r1.Cached, r1.Status)
+		}
+		r2, err := Synthesize(context.Background(), sp)
+		if err != nil {
+			t.Fatalf("engine %v: %v", engine, err)
+		}
+		if !r2.Cached {
+			t.Fatalf("engine %v: repeat solve not served from cache", engine)
+		}
+		if r2.Status != r1.Status || r2.Bound != r1.Bound ||
+			r2.Design.Cost != r1.Design.Cost || r2.Design.Makespan != r1.Design.Makespan {
+			t.Fatalf("engine %v: cached result differs: %+v vs %+v", engine, r2, r1)
+		}
+		if r2.Nodes != 0 {
+			t.Fatalf("engine %v: cached result claims %d search nodes", engine, r2.Nodes)
+		}
+		if tel.Get(telemetry.CtrCacheHits) != 1 || tel.Get(telemetry.CtrCacheMisses) != 1 {
+			t.Fatalf("engine %v: counters hits=%d misses=%d, want 1/1", engine,
+				tel.Get(telemetry.CtrCacheHits), tel.Get(telemetry.CtrCacheMisses))
+		}
+	}
+}
+
+// TestCacheBudgetSemantics is the satellite-4 table test: non-proof
+// outcomes (budget-exhausted, canceled, feasible-without-proof,
+// heuristic) must never be stored, so a later request that needs a proof
+// always reaches a solver and gets one.
+func TestCacheBudgetSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(sp *Spec)
+	}{
+		{"budget-exhausted", func(sp *Spec) {
+			sp.Engine = EngineMILP
+			sp.Budget = time.Nanosecond // NoSolution → StatusBudgetExhausted
+		}},
+		{"canceled", func(sp *Spec) { sp.Engine = EngineMILP }},
+		{"anytime-budget-exhausted", func(sp *Spec) {
+			sp.Engine = EngineMILP
+			sp.Budget = time.Nanosecond
+			sp.Anytime = true // Anytime loosens what the caller accepts, not what the cache stores
+		}},
+		{"heuristic", func(sp *Spec) { sp.Engine = EngineHeuristic }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := testCache(t, CacheOptions{})
+			sp := cachedExample1Spec(c, EngineAuto, 13.5)
+			tc.mut(&sp)
+
+			ctx := context.Background()
+			if tc.name == "canceled" {
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				ctx = cctx
+			}
+			r, err := Synthesize(ctx, sp)
+			if err != nil {
+				t.Fatalf("degraded solve errored: %v", err)
+			}
+			if r.Status == StatusOptimal || r.Status == StatusInfeasible {
+				t.Skipf("scenario did not degrade (status %v); nothing to pin", r.Status)
+			}
+			if c.Len() != 0 {
+				t.Fatalf("non-proof result (status %v) was stored", r.Status)
+			}
+
+			// The poisoned-cache probe: a full-budget proof request must hit
+			// the solver and prove, not be served the degraded result.
+			proof := cachedExample1Spec(c, EngineAuto, 13.5)
+			r2, err := Synthesize(context.Background(), proof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r2.Cached {
+				t.Fatalf("proof request served from a cache that only saw a %v result", r.Status)
+			}
+			if r2.Status != StatusOptimal {
+				t.Fatalf("proof request got %v", r2.Status)
+			}
+		})
+	}
+}
+
+// TestCacheHeuristicNeverCachedOrServed: heuristic requests bypass the
+// cache entirely — they neither read a proof (the caller asked for the
+// heuristic's answer) nor write their inexact result.
+func TestCacheHeuristicNeverCachedOrServed(t *testing.T) {
+	c := testCache(t, CacheOptions{})
+	// Seed a real proof at this exact key's family.
+	if _, err := Synthesize(context.Background(), cachedExample1Spec(c, EngineAuto, 13.5)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Synthesize(context.Background(), cachedExample1Spec(c, EngineHeuristic, 13.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatalf("heuristic request was served a cached proof")
+	}
+	if r.Status != StatusFeasible {
+		t.Fatalf("heuristic status %v", r.Status)
+	}
+}
+
+// TestCachedSolvesMatchSequential sweeps the published frontier caps of
+// all three paper workloads and pins the cached path bit-identical to
+// the sequential (cache-free) path: same status, bound, design cost and
+// makespan at every cap, for both a fresh cache (miss + store) and a
+// warm cache (pure hits). Runs under -race in tier 1.
+func TestCachedSolvesMatchSequential(t *testing.T) {
+	g1, lib1 := expts.Example1()
+	g2, lib2 := expts.Example2()
+	workloads := []struct {
+		name  string
+		spec  Spec
+		table []expts.ParetoPoint
+	}{
+		{"example1-p2p", Spec{Graph: g1, Library: lib1, Pool: expts.Example1Pool(lib1)}, expts.Table2Full},
+		{"example2-p2p", Spec{Graph: g2, Library: lib2, Pool: expts.Example2Pool(lib2)}, expts.Table4},
+		{"example2-bus", Spec{Graph: g2, Library: lib2, Pool: expts.Example2Pool(lib2), Topology: arch.Bus{}}, expts.Table5},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			c := testCache(t, CacheOptions{})
+			for pass, wantCached := range []bool{false, true} {
+				for _, pt := range w.table {
+					sp := w.spec
+					sp.CostCap = pt.Cost
+					seq, err := Synthesize(context.Background(), sp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sp.Cache = c
+					got, err := Synthesize(context.Background(), sp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Cached != wantCached {
+						t.Fatalf("pass %d cap %v: cached=%v want %v", pass, pt.Cost, got.Cached, wantCached)
+					}
+					if got.Status != seq.Status || got.Bound != seq.Bound {
+						t.Fatalf("cap %v: status/bound diverged: %v/%v vs %v/%v",
+							pt.Cost, got.Status, got.Bound, seq.Status, seq.Bound)
+					}
+					if got.Design.Cost != seq.Design.Cost || got.Design.Makespan != seq.Design.Makespan {
+						t.Fatalf("cap %v: design diverged: (%v,%v) vs (%v,%v)", pt.Cost,
+							got.Design.Cost, got.Design.Makespan, seq.Design.Cost, seq.Design.Makespan)
+					}
+					if got.Design.Cost != pt.Cost || got.Design.Makespan != pt.Perf {
+						t.Fatalf("cap %v: wrong frontier point (%v,%v), want (%v,%v)", pt.Cost,
+							got.Design.Cost, got.Design.Makespan, pt.Cost, pt.Perf)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNearMissWarmStart: a miss at a looser cap pulls the cached
+// same-family design in as a warm incumbent — the solve must still prove
+// optimality, with no more search nodes than the cold solve needed.
+func TestNearMissWarmStart(t *testing.T) {
+	for _, engine := range []Engine{EngineMILP, EngineAuto} {
+		tel := telemetry.New(nil)
+		c := testCache(t, CacheOptions{Telemetry: tel})
+		g, lib := expts.Example1()
+		base := Spec{Graph: g, Library: lib, Pool: expts.Example1Pool(lib), Engine: engine}
+
+		cold := base
+		cold.CostCap = 13
+		coldRes, err := Synthesize(context.Background(), cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Prove cap 5 into the cache, then ask for cap 13: not covered
+		// (looser), so it solves — warm-started by the cap-5 design.
+		seeded := base
+		seeded.CostCap = 5
+		seeded.Cache = c
+		if _, err := Synthesize(context.Background(), seeded); err != nil {
+			t.Fatal(err)
+		}
+		warm := base
+		warm.CostCap = 13
+		warm.Cache = c
+		warmRes, err := Synthesize(context.Background(), warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmRes.Cached {
+			t.Fatalf("engine %v: cap 13 must not be covered by a cap-5 proof", engine)
+		}
+		if warmRes.Status != StatusOptimal || warmRes.Bound != coldRes.Bound {
+			t.Fatalf("engine %v: warm solve diverged: %v/%v vs %v", engine, warmRes.Status, warmRes.Bound, coldRes.Bound)
+		}
+		if tel.Get(telemetry.CtrCacheNearHits) == 0 {
+			t.Fatalf("engine %v: near-hit counter did not move", engine)
+		}
+		if warmRes.Nodes > coldRes.Nodes {
+			t.Fatalf("engine %v: warm start grew the search: %d nodes vs cold %d", engine, warmRes.Nodes, coldRes.Nodes)
+		}
+		t.Logf("engine %v: cold %d nodes, warm %d nodes", engine, coldRes.Nodes, warmRes.Nodes)
+	}
+}
+
+// TestSolveBatch: duplicates, cap variants, an infeasible cap, and a
+// heuristic straggler in one batch — every slot must match its
+// individually solved counterpart.
+func TestSolveBatch(t *testing.T) {
+	g, lib := expts.Example1()
+	pool := expts.Example1Pool(lib)
+	base := Spec{Graph: g, Library: lib, Pool: pool, Engine: EngineMILP}
+	at := func(cap float64) Spec { s := base; s.CostCap = cap; return s }
+	heur := base
+	heur.Engine = EngineHeuristic
+	heur.CostCap = 13
+
+	specs := []Spec{at(7), at(13.5), at(7), at(3), at(5), heur, at(13.5)}
+	batch := SolveBatch(context.Background(), specs, nil)
+	if len(batch) != len(specs) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(specs))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("slot %d: %v", i, br.Err)
+		}
+		want, err := Synthesize(context.Background(), specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Result
+		if got.Status != want.Status || got.Bound != want.Bound {
+			t.Fatalf("slot %d: %v/%v, want %v/%v", i, got.Status, got.Bound, want.Status, want.Bound)
+		}
+		if (got.Design == nil) != (want.Design == nil) {
+			t.Fatalf("slot %d: design presence mismatch", i)
+		}
+		if got.Design != nil && (got.Design.Cost != want.Design.Cost || got.Design.Makespan != want.Design.Makespan) {
+			t.Fatalf("slot %d: design (%v,%v), want (%v,%v)", i,
+				got.Design.Cost, got.Design.Makespan, want.Design.Cost, want.Design.Makespan)
+		}
+		if got.Design != nil && got.Design.Graph != g {
+			t.Fatalf("slot %d: design references a foreign graph", i)
+		}
+	}
+	// Duplicates of slot 1 (13.5) must be fanned out from one proof.
+	if !batch[6].Result.Cached {
+		t.Fatalf("duplicate spec was re-solved instead of fanned out")
+	}
+}
+
+// TestSolveBatchSharedCache: with a shared cache, a second identical
+// batch is served entirely from proofs.
+func TestSolveBatchSharedCache(t *testing.T) {
+	c := testCache(t, CacheOptions{})
+	g, lib := expts.Example1()
+	base := Spec{Graph: g, Library: lib, Pool: expts.Example1Pool(lib), Engine: EngineMILP}
+	at := func(cap float64) Spec { s := base; s.CostCap = cap; return s }
+	specs := []Spec{at(13), at(7), at(5)}
+
+	first := SolveBatch(context.Background(), specs, c)
+	for i, br := range first {
+		if br.Err != nil || br.Result.Status != StatusOptimal {
+			t.Fatalf("first pass slot %d: %+v err %v", i, br.Result, br.Err)
+		}
+	}
+	second := SolveBatch(context.Background(), specs, c)
+	for i, br := range second {
+		if br.Err != nil {
+			t.Fatalf("second pass slot %d: %v", i, br.Err)
+		}
+		if !br.Result.Cached {
+			t.Fatalf("second pass slot %d not served from cache", i)
+		}
+		if br.Result.Bound != first[i].Result.Bound {
+			t.Fatalf("second pass slot %d bound %v, want %v", i, br.Result.Bound, first[i].Result.Bound)
+		}
+	}
+}
+
+// TestSolveBatchMinCost exercises the deadline-template group path.
+func TestSolveBatchMinCost(t *testing.T) {
+	g, lib := expts.Example1()
+	base := Spec{Graph: g, Library: lib, Pool: expts.Example1Pool(lib), Engine: EngineMILP, Objective: MinCost}
+	at := func(d float64) Spec { s := base; s.Deadline = d; return s }
+	specs := []Spec{at(3), at(7), at(2.5), at(7)}
+	batch := SolveBatch(context.Background(), specs, nil)
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("slot %d: %v", i, br.Err)
+		}
+		want, err := Synthesize(context.Background(), specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Result.Status != want.Status || br.Result.Bound != want.Bound {
+			t.Fatalf("slot %d: %v/%v, want %v/%v", i,
+				br.Result.Status, br.Result.Bound, want.Status, want.Bound)
+		}
+	}
+}
+
+// TestCachePersistAcrossRestart: a cache with a spill path restores its
+// proofs after "restart" and serves them without solving.
+func TestCachePersistAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "proofs.jsonl")
+	c1 := testCache(t, CacheOptions{PersistPath: path})
+	sp := cachedExample1Spec(c1, EngineAuto, 7)
+	r1, err := Synthesize(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := testCache(t, CacheOptions{PersistPath: path})
+	if n, _ := c2.Loaded(); n != 1 {
+		t.Fatalf("restored %d proofs, want 1", n)
+	}
+	sp.Cache = c2
+	r2, err := Synthesize(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Bound != r1.Bound || r2.Design.Cost != r1.Design.Cost {
+		t.Fatalf("restored proof not served identically: %+v vs %+v", r2, r1)
+	}
+}
+
+// TestCacheSingleflightStorm: many goroutines request the same uncached
+// spec concurrently; exactly one solves, the rest coalesce or hit, and
+// every result is the same proof. Leak-checked and race-run.
+func TestCacheSingleflightStorm(t *testing.T) {
+	defer leakcheck.Check(t)
+	tel := telemetry.New(nil)
+	c := testCache(t, CacheOptions{Telemetry: tel})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Synthesize(context.Background(), cachedExample1Spec(c, EngineAuto, 13.5))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if results[i].Status != StatusOptimal || results[i].Bound != results[0].Bound {
+			t.Fatalf("worker %d diverged: %+v", i, results[i])
+		}
+	}
+	coalesced := tel.Get(telemetry.CtrCacheCoalesced)
+	hits := tel.Get(telemetry.CtrCacheHits)
+	t.Logf("storm: %d coalesced, %d hits, %d misses", coalesced, hits, tel.Get(telemetry.CtrCacheMisses))
+	if coalesced+hits == 0 {
+		t.Fatalf("no request coalesced or hit — dedup did not engage")
+	}
+}
+
+// TestCacheSingleflightDisconnect: followers whose clients disconnect
+// mid-singleflight return promptly without leaking goroutines or
+// wedging the flight; the leader's proof still lands and later requests
+// hit it.
+func TestCacheSingleflightDisconnect(t *testing.T) {
+	defer leakcheck.Check(t)
+	c := testCache(t, CacheOptions{})
+	g, lib := expts.Example1()
+	spec := func() Spec {
+		return Spec{Graph: g, Library: lib, Pool: expts.Example1Pool(lib), Engine: EngineMILP, CostCap: 13.5, Cache: c}
+	}
+
+	var wg sync.WaitGroup
+	// Leader: full solve.
+	leaderRes := make(chan *Result, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := Synthesize(context.Background(), spec())
+		if err == nil {
+			leaderRes <- r
+		}
+	}()
+	// Followers: canceled almost immediately while (likely) waiting on
+	// the leader's flight.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*time.Millisecond)
+			defer cancel()
+			r, err := Synthesize(ctx, spec())
+			// Either a served/solved result or a context error is fine;
+			// what is not fine is a wedge (caught by wg.Wait) or a result
+			// claiming a proof it cannot have.
+			if err == nil && r != nil && r.Status == StatusOptimal && r.Design == nil {
+				t.Errorf("follower %d: optimal without design", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case r := <-leaderRes:
+		if r.Status != StatusOptimal {
+			t.Fatalf("leader status %v", r.Status)
+		}
+	default:
+		t.Fatalf("leader did not complete")
+	}
+	// The flight table must be clean: a fresh request hits the proof.
+	r, err := Synthesize(context.Background(), spec())
+	if err != nil || !r.Cached {
+		t.Fatalf("post-storm request: cached=%v err=%v", r != nil && r.Cached, err)
+	}
+}
+
+// TestCacheZeroCapOverheadPath: an uncacheable spec (unknown custom
+// topology) silently bypasses the cache rather than erroring.
+func TestCacheUncacheableBypass(t *testing.T) {
+	c := testCache(t, CacheOptions{})
+	sp := cachedExample1Spec(c, EngineAuto, 13.5)
+	sp.Topology = customTopo{}
+	r, err := Synthesize(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached || r.Status != StatusOptimal {
+		t.Fatalf("uncacheable spec: cached=%v status=%v", r.Cached, r.Status)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("uncacheable spec leaked into the cache")
+	}
+}
+
+type customTopo struct{ arch.PointToPoint }
+
+func (customTopo) Name() string { return "custom" }
+
+var _ = math.Inf

@@ -110,6 +110,7 @@ func run() error {
 		solverTrace = flag.String("solver-trace", "", "stream solver trace events (nodes, prunes, incumbents, LP resolves) as JSON lines to the given path ('-' = stderr)")
 		pprofPath   = flag.String("pprof", "", "write a CPU profile of the solve to the given path")
 		debugAddr   = flag.String("debug-addr", "", "serve expvar telemetry and net/http/pprof on this address during the run")
+		cachePath   = flag.String("cache-persist", "", "JSONL proof-cache spill file: proofs from earlier runs are warm-loaded and reused, this run's proofs are appended")
 	)
 	flag.Parse()
 
@@ -211,6 +212,15 @@ func run() error {
 		return err
 	}
 	spec.Telemetry = ob.tel
+
+	if *cachePath != "" {
+		cache, cerr := sos.NewCache(sos.CacheOptions{PersistPath: *cachePath, Telemetry: ob.tel})
+		if cerr != nil {
+			return fmt.Errorf("cache: %w", cerr)
+		}
+		defer cache.Close()
+		spec.Cache = cache
+	}
 
 	// SIGINT/SIGTERM cancel the solve context instead of killing the
 	// process: every engine is anytime-aware, so an interrupted run still

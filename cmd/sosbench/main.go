@@ -15,6 +15,7 @@
 //	-all               everything above
 //	-perf              solver-throughput report, written to BENCH_<date>.json
 //	-perf-lp           LP kernel report (dense vs sparse vs presolve), BENCH_lp.json
+//	-perf-cache        result-cache report (hit p50, zero-hit overhead), BENCH_cache.json
 //
 // By default frontiers are traced with the combinatorial engine (exact and
 // fast). -engine milp uses the paper's MILP method for everything it can
@@ -78,6 +79,7 @@ func main() {
 		perf    = flag.Bool("perf", false, "measure solver throughput and write BENCH_<date>.json")
 		perfSw  = flag.Bool("perf-sweep", false, "measure Table II sweep scaling over worker counts and write BENCH_sweep.json")
 		perfLP  = flag.Bool("perf-lp", false, "measure LP kernel throughput (dense vs sparse vs presolve) and write BENCH_lp.json")
+		perfCa  = flag.Bool("perf-cache", false, "measure the result cache (repeat-heavy p50, zero-hit overhead, warm starts) and write BENCH_cache.json")
 	)
 	flag.Parse()
 
@@ -130,6 +132,7 @@ func main() {
 	run(*perf, Perf)
 	run(*perfSw, PerfSweep)
 	run(*perfLP, PerfLP)
+	run(*perfCa, PerfCache)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

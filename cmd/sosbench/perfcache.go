@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sos"
+	"sos/internal/arch"
+	"sos/internal/expts"
+	"sos/internal/taskgraph"
+	"sos/internal/telemetry"
+)
+
+// cacheBenchFile is the committed result-cache baseline; the CI gate
+// re-measures and enforces the report's own invariants (speedup and
+// overhead bounds), so the file is an artifact and a record, not a
+// machine-specific ns/op ratchet.
+const cacheBenchFile = "BENCH_cache.json"
+
+// cacheStreamResult is one request-stream measurement.
+type cacheStreamResult struct {
+	Requests  int     `json:"requests"`
+	Distinct  int     `json:"distinct_specs"`
+	Hits      int64   `json:"cache_hits"`
+	NearHits  int64   `json:"cache_near_hits"`
+	Misses    int64   `json:"cache_misses"`
+	HitRate   float64 `json:"hit_rate"`
+	ColdP50Ns int64   `json:"cold_p50_ns"`
+	CacheP50N int64   `json:"cached_p50_ns"`
+	ColdNs    int64   `json:"cold_total_ns"`
+	CachedNs  int64   `json:"cached_total_ns"`
+	// SpeedupP50 is cold p50 / cached p50 (repeat-heavy stream).
+	SpeedupP50 float64 `json:"speedup_p50"`
+	// OverheadPct is (cached-cold)/cold total time (zero-hit stream).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type warmStartResult struct {
+	Workload  string `json:"workload"`
+	ColdNodes int64  `json:"cold_milp_nodes"`
+	WarmNodes int64  `json:"warm_milp_nodes"`
+}
+
+type cachePerfReport struct {
+	Date        string            `json:"date"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	RepeatHeavy cacheStreamResult `json:"repeat_heavy"`
+	ZeroHit     cacheStreamResult `json:"zero_hit"`
+	WarmStart   warmStartResult   `json:"warm_start"`
+}
+
+// cacheCorpus builds the structured workload set: the two paper examples
+// plus seeded series-parallel graphs with random 3-type libraries — the
+// regime PAPERS.md's fork-join corpora argue dominates real traffic.
+func cacheCorpus(n int) []sos.Spec {
+	specs := make([]sos.Spec, 0, n)
+	g1, lib1 := expts.Example1()
+	specs = append(specs, sos.Spec{Graph: g1, Library: lib1, Pool: expts.Example1Pool(lib1),
+		Engine: sos.EngineCombinatorial})
+	g2, lib2 := expts.Example2()
+	specs = append(specs, sos.Spec{Graph: g2, Library: lib2, Pool: expts.Example2Pool(lib2),
+		Engine: sos.EngineCombinatorial})
+	for seed := int64(1); len(specs) < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// 5-7 subtasks keeps each uncapped exact solve in the low
+		// milliseconds; past ~8 the 6-instance assignment space explodes
+		// and a single cold solve dominates the whole stream.
+		g := taskgraph.SeriesParallel(rng, taskgraph.StructuredSpec{Subtasks: 5 + rng.Intn(3), MaxFan: 3})
+		if err := g.Freeze(); err != nil {
+			continue
+		}
+		lib := arch.RandomLibrary(rng, g, 3)
+		specs = append(specs, sos.Spec{Graph: g, Library: lib, Pool: arch.AutoPool(lib, g, 2),
+			Engine: sos.EngineCombinatorial})
+	}
+	return specs
+}
+
+// runStream solves every request in order through the optional cache and
+// returns per-request latencies.
+func runStream(stream []sos.Spec, c *sos.Cache) ([]time.Duration, error) {
+	lat := make([]time.Duration, len(stream))
+	for i, sp := range stream {
+		sp.Cache = c
+		t0 := time.Now()
+		if _, err := sos.Synthesize(context.Background(), sp); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		lat[i] = time.Since(t0)
+	}
+	return lat, nil
+}
+
+func p50(lat []time.Duration) int64 {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return int64(s[len(s)/2])
+}
+
+func total(lat []time.Duration) int64 {
+	var t time.Duration
+	for _, l := range lat {
+		t += l
+	}
+	return int64(t)
+}
+
+// PerfCache measures the cross-request result cache on three axes and
+// writes BENCH_cache.json:
+//
+//   - repeat-heavy stream (~87% duplicate or cap-relaxed requests over
+//     the structured corpus): p50 latency with and without the cache —
+//     the acceptance bar is a >=5x p50 win;
+//   - zero-hit stream (every spec distinct): total-time overhead of
+//     canonicalization + bookkeeping — the bar is <5%;
+//   - near-miss warm starts: MILP node count at Example 1 cap 13, cold
+//     vs seeded with the cached cap-5 proof — warm must not search more.
+//
+// With -check-baseline it re-measures and fails if any of the three
+// bars is missed, instead of writing the file.
+func PerfCache() error {
+	fmt.Println("== Result-cache performance report ==")
+	report := cachePerfReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	// --- Repeat-heavy stream ---------------------------------------
+	corpus := cacheCorpus(8)
+	// First pass: every distinct spec once (the misses that fill the
+	// cache). Then repeats: exact duplicates alternating with cap-relaxed
+	// variants, which the cover-down rule serves from the uncapped proofs.
+	var stream []sos.Spec
+	stream = append(stream, corpus...)
+	for i := 0; i < 56; i++ {
+		sp := corpus[i%len(corpus)]
+		if i%2 == 1 {
+			sp.CostCap = 1e6 // relaxed cap: covered by the uncapped proof
+		}
+		stream = append(stream, sp)
+	}
+
+	cold, err := runStream(stream, nil)
+	if err != nil {
+		return fmt.Errorf("perf-cache cold: %w", err)
+	}
+	tel := telemetry.New(nil)
+	cache, err := sos.NewCache(sos.CacheOptions{Telemetry: tel})
+	if err != nil {
+		return err
+	}
+	cached, err := runStream(stream, cache)
+	cache.Close()
+	if err != nil {
+		return fmt.Errorf("perf-cache cached: %w", err)
+	}
+	hits, near, misses := tel.Get(telemetry.CtrCacheHits), tel.Get(telemetry.CtrCacheNearHits), tel.Get(telemetry.CtrCacheMisses)
+	rh := cacheStreamResult{
+		Requests: len(stream), Distinct: len(corpus),
+		Hits: hits, NearHits: near, Misses: misses,
+		HitRate:   float64(hits) / float64(len(stream)),
+		ColdP50Ns: p50(cold), CacheP50N: p50(cached),
+		ColdNs: total(cold), CachedNs: total(cached),
+	}
+	if rh.CacheP50N > 0 {
+		rh.SpeedupP50 = float64(rh.ColdP50Ns) / float64(rh.CacheP50N)
+	}
+	report.RepeatHeavy = rh
+	fmt.Printf("  repeat-heavy: %d reqs (%d distinct), hit rate %.0f%%, p50 %v -> %v (%.0fx), total %v -> %v\n",
+		rh.Requests, rh.Distinct, 100*rh.HitRate,
+		time.Duration(rh.ColdP50Ns), time.Duration(rh.CacheP50N), rh.SpeedupP50,
+		time.Duration(rh.ColdNs).Round(time.Millisecond), time.Duration(rh.CachedNs).Round(time.Millisecond))
+
+	// --- Zero-hit stream -------------------------------------------
+	distinct := cacheCorpus(24)
+	// Best-of-3 totals: the overhead bar is 5% and single-run scheduler
+	// noise on a shared box is larger than the effect being measured.
+	var zeroColdNs, zeroCachedNs int64
+	var zeroCold, zeroCached []time.Duration
+	for rep := 0; rep < 3; rep++ {
+		lat, err := runStream(distinct, nil)
+		if err != nil {
+			return fmt.Errorf("perf-cache zero-hit cold: %w", err)
+		}
+		if t := total(lat); rep == 0 || t < zeroColdNs {
+			zeroColdNs, zeroCold = t, lat
+		}
+		zc, err := sos.NewCache(sos.CacheOptions{})
+		if err != nil {
+			return err
+		}
+		lat, err = runStream(distinct, zc)
+		zc.Close()
+		if err != nil {
+			return fmt.Errorf("perf-cache zero-hit cached: %w", err)
+		}
+		if t := total(lat); rep == 0 || t < zeroCachedNs {
+			zeroCachedNs, zeroCached = t, lat
+		}
+	}
+	zh := cacheStreamResult{
+		Requests: len(distinct), Distinct: len(distinct),
+		ColdP50Ns: p50(zeroCold), CacheP50N: p50(zeroCached),
+		ColdNs: zeroColdNs, CachedNs: zeroCachedNs,
+		OverheadPct: 100 * (float64(zeroCachedNs) - float64(zeroColdNs)) / float64(zeroColdNs),
+	}
+	report.ZeroHit = zh
+	fmt.Printf("  zero-hit: %d distinct reqs, total %v -> %v (overhead %+.1f%%)\n",
+		zh.Requests, time.Duration(zh.ColdNs).Round(time.Millisecond),
+		time.Duration(zh.CachedNs).Round(time.Millisecond), zh.OverheadPct)
+
+	// --- Near-miss warm starts -------------------------------------
+	g1, lib1 := expts.Example1()
+	base := sos.Spec{Graph: g1, Library: lib1, Pool: expts.Example1Pool(lib1), Engine: sos.EngineMILP}
+	coldSpec := base
+	coldSpec.CostCap = 13
+	coldRes, err := sos.Synthesize(context.Background(), coldSpec)
+	if err != nil {
+		return err
+	}
+	wc, err := sos.NewCache(sos.CacheOptions{})
+	if err != nil {
+		return err
+	}
+	defer wc.Close()
+	seed := base
+	seed.CostCap = 5
+	seed.Cache = wc
+	if _, err := sos.Synthesize(context.Background(), seed); err != nil {
+		return err
+	}
+	warmSpec := base
+	warmSpec.CostCap = 13
+	warmSpec.Cache = wc
+	warmRes, err := sos.Synthesize(context.Background(), warmSpec)
+	if err != nil {
+		return err
+	}
+	ws := warmStartResult{Workload: "example1-p2p-cap13-seeded-by-cap5",
+		ColdNodes: int64(coldRes.Nodes), WarmNodes: int64(warmRes.Nodes)}
+	report.WarmStart = ws
+	fmt.Printf("  warm-start: MILP nodes %d cold -> %d warm (%s)\n", ws.ColdNodes, ws.WarmNodes, ws.Workload)
+
+	if *checkBaseline {
+		var failed []string
+		if rh.SpeedupP50 < 5 {
+			failed = append(failed, fmt.Sprintf("repeat-heavy p50 speedup %.1fx < 5x", rh.SpeedupP50))
+		}
+		if zh.OverheadPct > 5 {
+			failed = append(failed, fmt.Sprintf("zero-hit overhead %.1f%% > 5%%", zh.OverheadPct))
+		}
+		if ws.WarmNodes > ws.ColdNodes {
+			failed = append(failed, fmt.Sprintf("warm start grew the search: %d > %d nodes", ws.WarmNodes, ws.ColdNodes))
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("cache perf gate: %v", failed)
+		}
+		fmt.Println("  cache perf gate: all bars met")
+		fmt.Println()
+		return nil
+	}
+
+	f, err := os.Create(cacheBenchFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", cacheBenchFile)
+	return nil
+}

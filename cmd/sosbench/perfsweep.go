@@ -35,6 +35,10 @@ type sweepScalingResult struct {
 	Iterations     int     `json:"iterations"`
 }
 
+// sweepBenchFile is the committed sweep-scaling baseline the
+// -check-baseline gate ratchets against.
+const sweepBenchFile = "BENCH_sweep.json"
+
 type sweepScalingReport struct {
 	Date      string               `json:"date"`
 	GoVersion string               `json:"go_version"`
@@ -47,7 +51,9 @@ type sweepScalingReport struct {
 // §10) on the Table II workload at 1, 2, and 4 workers, asserts every
 // configuration returns the identical frontier, and writes the scaling
 // report to BENCH_sweep.json (a fixed name, so CI can upload it as an
-// artifact).
+// artifact). With -check-baseline it instead compares the fresh
+// measurements against the committed file and fails on a slowdown
+// beyond -baseline-tolerance.
 func PerfSweep() error {
 	fmt.Println("== Sweep scaling report (Table II, MILP engine) ==")
 	g, lib := expts.Example1()
@@ -122,7 +128,11 @@ func PerfSweep() error {
 			res.SpecHits, res.SpecWasted, res.SpecRetargeted)
 	}
 
-	f, err := os.Create("BENCH_sweep.json")
+	if *checkBaseline {
+		return compareSweepBaseline(&report)
+	}
+
+	f, err := os.Create(sweepBenchFile)
 	if err != nil {
 		return err
 	}
@@ -135,7 +145,49 @@ func PerfSweep() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Println("wrote BENCH_sweep.json")
+	fmt.Printf("wrote %s\n\n", sweepBenchFile)
+	return nil
+}
+
+// compareSweepBaseline diffs fresh measurements against the committed
+// BENCH_sweep.json and fails when any pinned worker count slowed beyond
+// the tolerance. Speedups and new worker counts pass (the baseline is a
+// ratchet, not a straitjacket).
+func compareSweepBaseline(fresh *sweepScalingReport) error {
+	raw, err := os.ReadFile(sweepBenchFile)
+	if err != nil {
+		return fmt.Errorf("no committed baseline: %w (run `make perf-sweep` and commit %s)", err, sweepBenchFile)
+	}
+	var base sweepScalingReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", sweepBenchFile, err)
+	}
+	baseByWorkers := map[int]sweepScalingResult{}
+	for _, r := range base.Results {
+		baseByWorkers[r.Workers] = r
+	}
+	fmt.Printf("baseline %s (%s, %d CPU) vs fresh run, tolerance %.0f%%:\n",
+		base.Date, base.GoVersion, base.NumCPU, 100**baselineTol)
+	var failed []string
+	for _, r := range fresh.Results {
+		name := fmt.Sprintf("sweep-workers-%d", r.Workers)
+		b, ok := baseByWorkers[r.Workers]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  %-30s (no baseline; skipped)\n", name)
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(b.NsPerOp)
+		verdict := "ok"
+		if ratio > 1+*baselineTol {
+			verdict = "REGRESSION"
+			failed = append(failed, name)
+		}
+		fmt.Printf("  %-30s %14d -> %14d ns/op (%.2fx) %s\n", name, b.NsPerOp, r.NsPerOp, ratio, verdict)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("sweep perf gate: %d configuration(s) regressed beyond %.0f%%: %v",
+			len(failed), 100**baselineTol, failed)
+	}
 	fmt.Println()
 	return nil
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -17,9 +18,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"sos"
 	"sos/internal/server"
 	"sos/internal/telemetry"
 )
@@ -42,6 +45,9 @@ func run(args []string, out *os.File) error {
 		defBudget  = fs.Duration("default-budget", 10*time.Second, "per-request budget when the request carries none")
 		maxBudget  = fs.Duration("max-budget", 0, "clamp on client-requested budgets (0 = capacity)")
 		drainGrace = fs.Duration("drain-grace", 5*time.Second, "how long shutdown lets in-flight solves run before canceling them")
+		cacheSize  = fs.Int("cache-size", 4096, "result-cache capacity in proofs (0 disables the cache)")
+		cachePath  = fs.String("cache-persist", "", "JSONL spill file for cached proofs; warm-loaded at startup (empty = in-memory only)")
+		maxBatch   = fs.Int("max-batch", 0, "max specs per POST /v1/batch (0 = default 64)")
 		quiet      = fs.Bool("quiet", false, "suppress per-request log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +61,24 @@ func run(args []string, out *os.File) error {
 	}
 
 	tel := telemetry.New(nil)
+	var cache *sos.Cache
+	if *cacheSize > 0 {
+		var cerr error
+		cache, cerr = sos.NewCache(sos.CacheOptions{
+			Capacity:    *cacheSize,
+			PersistPath: *cachePath,
+			Telemetry:   tel,
+		})
+		if cerr != nil {
+			return fmt.Errorf("cache: %w", cerr)
+		}
+		defer cache.Close()
+		if *cachePath != "" {
+			restored, skipped := cache.Loaded()
+			logger.Printf("cache: %d proofs restored from %s (%d lines skipped)", restored, *cachePath, skipped)
+		}
+		publishCacheExpvars(tel, cache)
+	}
 	srv := server.New(server.Config{
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
@@ -62,6 +86,8 @@ func run(args []string, out *os.File) error {
 		DefaultBudget: *defBudget,
 		MaxBudget:     *maxBudget,
 		DrainGrace:    *drainGrace,
+		MaxBatch:      *maxBatch,
+		Cache:         cache,
 		Telemetry:     tel,
 		Logf:          logf,
 	})
@@ -108,7 +134,35 @@ func run(args []string, out *os.File) error {
 		tel.Get(telemetry.CtrReqServed), tel.Get(telemetry.CtrReqShed),
 		tel.Get(telemetry.CtrReqDegraded), tel.Get(telemetry.CtrReqCanceled),
 		tel.Get(telemetry.CtrReqPanics))
+	if cache != nil {
+		logger.Printf("cache: %d proofs, hits %d, near-hits %d, misses %d, evictions %d, coalesced %d",
+			cache.Len(), tel.Get(telemetry.CtrCacheHits), tel.Get(telemetry.CtrCacheNearHits),
+			tel.Get(telemetry.CtrCacheMisses), tel.Get(telemetry.CtrCacheEvictions),
+			tel.Get(telemetry.CtrCacheCoalesced))
+	}
 	return nil
+}
+
+// expvarOnce guards against double expvar registration (expvar.Publish
+// panics on duplicate names; run() is re-entered in tests).
+var expvarOnce sync.Once
+
+// publishCacheExpvars exports the cache counters and size on the standard
+// expvar surface ("sos_cache" under /debug/vars of any default-mux
+// listener, and expvar.Get for in-process consumers).
+func publishCacheExpvars(tel *telemetry.Collector, cache *sos.Cache) {
+	expvarOnce.Do(func() {
+		expvar.Publish("sos_cache", expvar.Func(func() any {
+			return map[string]int64{
+				"len":       int64(cache.Len()),
+				"hits":      tel.Get(telemetry.CtrCacheHits),
+				"near_hits": tel.Get(telemetry.CtrCacheNearHits),
+				"misses":    tel.Get(telemetry.CtrCacheMisses),
+				"evictions": tel.Get(telemetry.CtrCacheEvictions),
+				"coalesced": tel.Get(telemetry.CtrCacheCoalesced),
+			}
+		}))
+	})
 }
 
 func cfgWorkers(w int) int {

@@ -1,0 +1,221 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"os"
+
+	"sos/internal/arch"
+	"sos/internal/schedule"
+	"sos/internal/specfile"
+)
+
+// spillRecord is one JSONL line of the persistent spill: the full
+// problem in specfile form plus the proof. Lines are self-contained so a
+// restarted process (or a different machine) can rebuild the entry, and
+// the canonical key is recomputed on load rather than trusted from disk.
+type spillRecord struct {
+	V           int             `json:"v"`
+	Spec        json.RawMessage `json:"spec"` // {"graph":…,"library":…,"pool":…}
+	Topology    string          `json:"topology"`
+	TopoCost    float64         `json:"topo_cost,omitempty"`
+	Objective   string          `json:"objective"` // "makespan" | "cost"
+	CostCap     float64         `json:"cost_cap,omitempty"`
+	Deadline    float64         `json:"deadline,omitempty"`
+	Memory      bool            `json:"memory,omitempty"`
+	NoOverlapIO bool            `json:"no_overlap_io,omitempty"`
+	Status      string          `json:"status"` // "optimal" | "infeasible"
+	Bound       float64         `json:"bound,omitempty"`
+	Nodes       int64           `json:"nodes,omitempty"`
+	Design      json.RawMessage `json:"design,omitempty"`
+}
+
+const spillVersion = 1
+
+type spill struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openSpill(path string) (*spill, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &spill{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (s *spill) close() error {
+	err := s.w.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// appendSpill persists one stored proof. Failures are silent by design:
+// the spill is an optimization, and the in-memory entry is already live.
+func (c *Cache) appendSpill(e *entry) {
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	if c.spill == nil {
+		return
+	}
+	rec, err := recordOf(e)
+	if err != nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if _, err := c.spill.w.Write(append(line, '\n')); err != nil {
+		return
+	}
+	c.spill.w.Flush()
+}
+
+func recordOf(e *entry) (*spillRecord, error) {
+	counts := make([]int, e.req.Pool.Library().NumTypes())
+	for _, p := range e.req.Pool.Procs() {
+		counts[p.Type]++
+	}
+	spec, err := json.Marshal(&specfile.Spec{
+		Graph:   e.req.Graph,
+		Library: e.req.Pool.Library(),
+		Pool:    counts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	topoName, topoCost, _, err := topoParams(e.req.Topo)
+	if err != nil {
+		return nil, err
+	}
+	rec := &spillRecord{
+		V:           spillVersion,
+		Spec:        spec,
+		Topology:    topoName,
+		TopoCost:    topoCost,
+		CostCap:     e.req.CostCap,
+		Deadline:    e.req.Deadline,
+		Memory:      e.req.Memory,
+		NoOverlapIO: e.req.NoOverlapIO,
+		Nodes:       e.nodes,
+	}
+	if e.req.Objective == MinCost {
+		rec.Objective = "cost"
+	} else {
+		rec.Objective = "makespan"
+	}
+	if e.infeasible {
+		rec.Status = "infeasible"
+	} else {
+		rec.Status = "optimal"
+		rec.Bound = e.objVal
+		d, err := schedule.EncodeDesign(e.design)
+		if err != nil {
+			return nil, err
+		}
+		rec.Design = d
+	}
+	return rec, nil
+}
+
+// loadSpill replays the spill file into the in-memory cache. Corrupt,
+// stale, or otherwise unusable lines are skipped — the spill is advisory.
+// Every restored proof is re-keyed from its own decoded problem, so a
+// spill written by an older canonicalizer can only miss, never mislead.
+func (c *Cache) loadSpill(sp *spill) (restored, skipped int) {
+	if _, err := sp.f.Seek(0, 0); err != nil {
+		return 0, 0
+	}
+	sc := bufio.NewScanner(sp.f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if c.loadLine(line) {
+			restored++
+		} else {
+			skipped++
+		}
+	}
+	// Position at end for appends regardless of scan outcome.
+	sp.f.Seek(0, 2)
+	return restored, skipped
+}
+
+func (c *Cache) loadLine(line []byte) bool {
+	var rec spillRecord
+	if err := json.Unmarshal(line, &rec); err != nil || rec.V != spillVersion {
+		return false
+	}
+	spec, err := specfile.Parse(rec.Spec)
+	if err != nil {
+		return false
+	}
+	var topo arch.Topology
+	switch rec.Topology {
+	case "p2p":
+		topo = arch.PointToPoint{}
+	case "bus":
+		topo = arch.Bus{Cost: rec.TopoCost}
+	case "shmem":
+		topo = arch.SharedMemory{Cost: rec.TopoCost}
+	case "ring":
+		topo = arch.Ring{}
+	default:
+		return false
+	}
+	req := Request{
+		Graph:       spec.Graph,
+		Pool:        spec.Instances(),
+		Topo:        topo,
+		CostCap:     rec.CostCap,
+		Deadline:    rec.Deadline,
+		Memory:      rec.Memory,
+		NoOverlapIO: rec.NoOverlapIO,
+	}
+	if rec.Objective == "cost" {
+		req.Objective = MinCost
+	} else if rec.Objective != "makespan" {
+		return false
+	}
+	p, err := Prepare(req)
+	if err != nil {
+		return false
+	}
+	e := &entry{
+		key:    p.canon.key,
+		family: p.canon.family,
+		limit:  p.canon.limit,
+		nodes:  rec.Nodes,
+		canon:  p.canon,
+		req:    req,
+	}
+	switch rec.Status {
+	case "infeasible":
+		e.infeasible = true
+		e.objVal = math.Inf(1)
+		e.designLimit = math.Inf(1)
+	case "optimal":
+		d, err := schedule.DecodeDesign(rec.Design, req.Graph, req.Pool, topo)
+		if err != nil {
+			return false
+		}
+		e.design = d
+		e.objVal = rec.Bound
+		if req.Objective == MinCost {
+			e.designLimit = d.Makespan
+		} else {
+			e.designLimit = d.Cost
+		}
+	default:
+		return false
+	}
+	return c.insert(e)
+}

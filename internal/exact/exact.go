@@ -89,6 +89,15 @@ type Options struct {
 	// transfer occupies both endpoint processors in addition to its links.
 	NoOverlapIO bool
 
+	// Warm, when non-nil, seeds the search with a known-feasible design as
+	// the initial incumbent, so bound pruning starts tight immediately
+	// (the cross-request cache injects near-miss hits here). The design is
+	// untrusted: it must reference this exact problem (same graph and pool
+	// objects, same topology), validate, and satisfy the cap/deadline, or
+	// it is silently ignored. Seeding never affects optimality — pruning
+	// is value-based, so an exhausted search still proves its answer.
+	Warm *schedule.Design
+
 	// Telemetry, when non-nil, receives search counters (mapping nodes,
 	// scheduling nodes, incumbents) and incumbent trace events. Node counts
 	// are accumulated locally per search goroutine and folded in when the
@@ -136,6 +145,10 @@ func Synthesize(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, t
 	s.ctx = ctx
 	rootLB := s.rootBound()
 
+	if w := opts.Warm; w != nil && warmUsable(w, g, pool, topo, opts) {
+		s.accept(w, w.Cost)
+	}
+
 	if err := s.runDFS(0); err != nil {
 		return nil, err
 	}
@@ -151,6 +164,24 @@ func Synthesize(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, t
 	s.foldTelemetry()
 	res := finishResult(ctx, s.best, objVal, !s.budgetHit, rootLB, s.nodes, s.schedNodes)
 	return res, nil
+}
+
+// warmUsable vets an untrusted warm incumbent: it must belong to this
+// exact problem instance, pass the independent schedule validator, and
+// sit inside the requested bound. Anything less is dropped — a bad seed
+// must never be able to corrupt a proof.
+func warmUsable(w *schedule.Design, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options) bool {
+	const eps = 1e-9
+	if w.Graph != g || w.Pool != pool || w.Topo != topo {
+		return false
+	}
+	if err := w.Validate(&schedule.ValidateOptions{NoOverlapIO: opts.NoOverlapIO}); err != nil {
+		return false
+	}
+	if opts.Objective == MinMakespan {
+		return opts.CostCap <= 0 || w.Cost <= opts.CostCap+eps
+	}
+	return w.Makespan <= opts.Deadline+eps
 }
 
 // foldTelemetry adds this search goroutine's local node counts to the

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"sos"
 	"sos/internal/telemetry"
 )
 
@@ -15,8 +16,11 @@ import (
 //
 //	POST /v1/solve     one synthesis; body is a SolveRequest
 //	POST /v1/sweep     one Pareto frontier sweep; same body shape
+//	POST /v1/batch     related syntheses answered together; body is a
+//	                   BatchRequest (deduplicated and template-shared
+//	                   through the result cache, see sos.SolveBatch)
 //	GET  /v1/jobs/{id} a job record (done jobs keep their full response)
-//	GET  /v1/stats     telemetry counters + queue/governor gauges
+//	GET  /v1/stats     telemetry counters + queue/governor/cache gauges
 //	GET  /healthz      liveness: always 200 while the process runs
 //	GET  /readyz       readiness: 503 while draining or the queue is full
 //
@@ -30,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, kindSweep)
 	})
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	// Health probes are lock-free and allocation-light: they must answer
@@ -84,6 +89,74 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind jobKi
 	}
 
 	j := s.newJob(kind, spec, budget, deadline, anytime)
+	s.dispatch(w, r, j)
+}
+
+// handleBatch is the POST /v1/batch entry: decode and validate every
+// member up front (any invalid member fails the whole batch with 400 and
+// its index), then admit the batch as one job.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.refuse(w, http.StatusRequestEntityTooLarge, OutcomeShed,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), 0)
+			return
+		}
+		s.refuse(w, http.StatusBadRequest, OutcomeError, "invalid request body: "+err.Error(), 0)
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.refuse(w, http.StatusBadRequest, OutcomeError, "empty batch", 0)
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		s.refuse(w, http.StatusBadRequest, OutcomeError,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Requests), s.cfg.MaxBatch), 0)
+		return
+	}
+
+	specs := make([]sos.Spec, len(req.Requests))
+	for i := range req.Requests {
+		spec, _, _, _, err := s.toSpec(&req.Requests[i])
+		if err != nil {
+			var bad errBadRequest
+			if errors.As(err, &bad) {
+				s.refuse(w, http.StatusBadRequest, OutcomeError,
+					fmt.Sprintf("request %d: %s", i, bad.Error()), 0)
+			} else {
+				s.refuse(w, http.StatusInternalServerError, OutcomeError,
+					fmt.Sprintf("request %d: %s", i, err.Error()), 0)
+			}
+			return
+		}
+		specs[i] = spec
+	}
+
+	budget := s.cfg.DefaultBudget
+	if req.BudgetMS > 0 {
+		budget = time.Duration(req.BudgetMS) * time.Millisecond
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	var deadline time.Time
+	if req.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+
+	j := s.newJob(kindBatch, sos.Spec{}, budget, deadline, true)
+	j.specs = specs
+	s.dispatch(w, r, j)
+}
+
+// dispatch admits a job and waits for its response against the client
+// connection — the shared tail of every submit handler.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, j *job) {
 	s.jobs.add(j)
 	if err := s.admit(j); err != nil {
 		s.tel.Inc(telemetry.CtrReqShed)
@@ -91,7 +164,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, kind jobKi
 		if errors.Is(err, errDraining) {
 			outcome, code = OutcomeDraining, http.StatusServiceUnavailable
 		}
-		j.complete(&Response{ID: j.id, Kind: kind.String(), Status: outcome,
+		j.complete(&Response{ID: j.id, Kind: j.kind.String(), Status: outcome,
 			HTTP: code, Error: err.Error()})
 		s.refuse(w, code, outcome, err.Error(), s.cfg.RetryAfter)
 		return
@@ -142,7 +215,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleStats reports counters and live gauges.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	occ, depth := s.Queue()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"queue_occupied": occ,
 		"queue_depth":    depth,
 		"draining":       s.Draining(),
@@ -150,14 +223,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"peak_active":    s.gov.Peak(),
 		"pressure":       s.pressure(),
 		"counters": map[string]int64{
-			"req_admitted": s.tel.Get(telemetry.CtrReqAdmitted),
-			"req_served":   s.tel.Get(telemetry.CtrReqServed),
-			"req_shed":     s.tel.Get(telemetry.CtrReqShed),
-			"req_degraded": s.tel.Get(telemetry.CtrReqDegraded),
-			"req_canceled": s.tel.Get(telemetry.CtrReqCanceled),
-			"req_panics":   s.tel.Get(telemetry.CtrReqPanics),
+			"req_admitted":    s.tel.Get(telemetry.CtrReqAdmitted),
+			"req_served":      s.tel.Get(telemetry.CtrReqServed),
+			"req_shed":        s.tel.Get(telemetry.CtrReqShed),
+			"req_degraded":    s.tel.Get(telemetry.CtrReqDegraded),
+			"req_canceled":    s.tel.Get(telemetry.CtrReqCanceled),
+			"req_panics":      s.tel.Get(telemetry.CtrReqPanics),
+			"cache_hits":      s.tel.Get(telemetry.CtrCacheHits),
+			"cache_near_hits": s.tel.Get(telemetry.CtrCacheNearHits),
+			"cache_misses":    s.tel.Get(telemetry.CtrCacheMisses),
+			"cache_evictions": s.tel.Get(telemetry.CtrCacheEvictions),
+			"cache_coalesced": s.tel.Get(telemetry.CtrCacheCoalesced),
 		},
-	})
+	}
+	if s.cfg.Cache != nil {
+		stats["cache_len"] = s.cfg.Cache.Len()
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // refuse writes a well-formed JSON refusal with an optional Retry-After.

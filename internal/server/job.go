@@ -16,11 +16,15 @@ type jobKind int
 const (
 	kindSolve jobKind = iota
 	kindSweep
+	kindBatch
 )
 
 func (k jobKind) String() string {
-	if k == kindSweep {
+	switch k {
+	case kindSweep:
 		return "sweep"
+	case kindBatch:
+		return "batch"
 	}
 	return "solve"
 }
@@ -38,6 +42,7 @@ type job struct {
 	id       string
 	kind     jobKind
 	spec     sos.Spec
+	specs    []sos.Spec    // kindBatch only: the translated batch members
 	budget   time.Duration // requested (clamped) solve budget; 0 = none
 	deadline time.Time     // response deadline; zero = none
 	anytime  bool          // degradation allowed

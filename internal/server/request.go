@@ -47,6 +47,32 @@ type SolveRequest struct {
 	SweepWorkers int `json:"sweep_workers,omitempty"`
 }
 
+// BatchRequest is the wire form of POST /v1/batch: a set of related
+// solve requests answered together. The server deduplicates identical
+// and cap-covered specs through the result cache and solves cap/deadline
+// variants of one problem off a shared model template (sos.SolveBatch).
+// Budget and deadline apply to the batch as a whole.
+type BatchRequest struct {
+	// Requests are the batch members; each is a full SolveRequest whose
+	// admission fields (budget_ms, deadline_ms, anytime) are ignored in
+	// favor of the batch-level ones below.
+	Requests []SolveRequest `json:"requests"`
+	// BudgetMS is the whole batch's solve budget in milliseconds (0 =
+	// server default), clamped like a solve budget.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// DeadlineMS is the wall-clock response deadline for the whole batch.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// BatchEntry is one slot of a batch response, positionally aligned with
+// the request's Requests array.
+type BatchEntry struct {
+	// Status is the slot's solver status, or "error".
+	Status string      `json:"status"`
+	Result *sos.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
 // Response is the wire form of every solve/sweep answer, and of the
 // response embedded in a job record. Exactly one of Result/Frontier is
 // set on success; Error explains refusals and failures. Status is the
@@ -70,6 +96,7 @@ type Response struct {
 
 	Result   *sos.Result         `json:"result,omitempty"`
 	Frontier []sos.FrontierPoint `json:"frontier,omitempty"`
+	Batch    []BatchEntry        `json:"batch,omitempty"`
 
 	QueuedSeconds     float64 `json:"queued_seconds"`
 	SolveSeconds      float64 `json:"solve_seconds"`
@@ -123,6 +150,7 @@ func (s *Server) toSpec(req *SolveRequest) (spec sos.Spec, budget time.Duration,
 		SweepWorkers: req.SweepWorkers,
 		Telemetry:    s.tel,
 		Hooks:        s.cfg.Hooks,
+		Cache:        s.cfg.Cache,
 	}
 	switch req.Objective {
 	case "", "makespan":

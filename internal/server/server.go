@@ -72,6 +72,13 @@ type Config struct {
 	// JobHistory is how many finished jobs stay queryable via
 	// GET /v1/jobs/{id} (default 512).
 	JobHistory int
+	// Cache, when non-nil, is attached to every solve so repeated and
+	// cap-covered specs are served from proofs and near-misses warm-start
+	// the solvers. Shared across requests; see sos.NewCache.
+	Cache *sos.Cache
+	// MaxBatch caps the number of specs in one POST /v1/batch request
+	// (default 64).
+	MaxBatch int
 	// RetryAfter is the client backoff hint on 429 responses (default 1s).
 	RetryAfter time.Duration
 	// DegradeAt and DegradeHardAt are queue-occupancy fractions (of
@@ -122,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 512
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -261,9 +271,12 @@ func (s *Server) run(workerID int, j *job) {
 
 	solveStart := time.Now()
 	var resp *Response
-	if j.kind == kindSweep {
+	switch j.kind {
+	case kindSweep:
 		resp = s.runSweep(j, gov)
-	} else {
+	case kindBatch:
+		resp = s.runBatch(j, gov)
+	default:
 		resp = s.runSolve(j, gov, workerID)
 	}
 	s.finish(j, resp, queued, time.Since(solveStart))

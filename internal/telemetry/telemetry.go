@@ -105,6 +105,21 @@ const (
 	// request boundary.
 	CtrReqPanics
 
+	// CtrCacheHits counts result-cache lookups served with a proof —
+	// exact key hits plus cover-down hits at a different cap.
+	CtrCacheHits
+	// CtrCacheNearHits counts lookups that missed but yielded at least
+	// one same-family cached design injected as an untrusted warm
+	// incumbent.
+	CtrCacheNearHits
+	// CtrCacheMisses counts lookups that found nothing servable.
+	CtrCacheMisses
+	// CtrCacheEvictions counts proofs dropped by per-shard LRU pressure.
+	CtrCacheEvictions
+	// CtrCacheCoalesced counts requests that waited on another in-flight
+	// identical request instead of solving (single-flight followers).
+	CtrCacheCoalesced
+
 	numCounters
 )
 
@@ -116,6 +131,7 @@ var counterNames = [numCounters]string{
 	"speculative_hits", "speculative_wasted", "speculative_retargeted",
 	"lp_refactors", "lp_presolve_rows", "lp_presolve_cols", "cuts_added",
 	"req_admitted", "req_served", "req_shed", "req_degraded", "req_canceled", "req_panics",
+	"cache_hits", "cache_near_hits", "cache_misses", "cache_evictions", "cache_coalesced",
 }
 
 func (c Counter) String() string {
@@ -176,6 +192,11 @@ const (
 	// outcome (a solver status, "shed", "canceled", or "panic"); Value is
 	// the request's wall-clock seconds from admission to outcome.
 	EvRequest
+	// EvCache: a result-cache interaction. Label is one of "hit",
+	// "cover", "near", "miss", "remap-fail", "store", "evict", or
+	// "coalesced"; Value is the request's cap/deadline (or a count for
+	// "near"/"evict").
+	EvCache
 
 	numEventKinds
 )
@@ -183,7 +204,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
-	"speculate", "lp_refactor", "lp_presolve", "cut", "request",
+	"speculate", "lp_refactor", "lp_presolve", "cut", "request", "cache",
 }
 
 func (k EventKind) String() string {

@@ -52,6 +52,7 @@ type resultJSON struct {
 	Optimal    bool            `json:"optimal"`
 	Infeasible bool            `json:"infeasible"`
 	Nodes      int             `json:"nodes"`
+	Cached     bool            `json:"cached,omitempty"`
 	Model      json.RawMessage `json:"model,omitempty"`
 	Design     json.RawMessage `json:"design,omitempty"`
 }
@@ -68,6 +69,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Optimal:    r.Optimal,
 		Infeasible: r.Infeasible,
 		Nodes:      r.Nodes,
+		Cached:     r.Cached,
 	}
 	if r.ModelStats != nil {
 		m, err := json.Marshal(r.ModelStats)
@@ -113,6 +115,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	r.Optimal = in.Optimal
 	r.Infeasible = in.Infeasible
 	r.Nodes = in.Nodes
+	r.Cached = in.Cached
 	r.Bound = 0
 	if in.Bound != nil {
 		r.Bound = *in.Bound

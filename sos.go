@@ -256,6 +256,14 @@ type Spec struct {
 	// (e.g. the sosd request boundary) without reaching into internals.
 	// Nil in production; ignored by the other engines.
 	Hooks *SolverHooks
+
+	// Cache, when non-nil, consults and feeds the cross-request result
+	// cache: exact and cover-down hits return stored proofs without
+	// touching a solver (Result.Cached reports this), near-miss hits of
+	// the same problem family seed the solve with warm incumbents, and
+	// concurrent identical requests coalesce onto one solve. Heuristic
+	// requests and specs carrying Hooks bypass the cache. See NewCache.
+	Cache *Cache
 }
 
 // SolverHooks are failpoint injection points for fault testing the MILP
@@ -303,10 +311,14 @@ type Result struct {
 	Infeasible bool
 	// Engine that produced the result.
 	Engine Engine
-	// Nodes explored by the search (0 for the heuristic).
+	// Nodes explored by the search (0 for the heuristic, and 0 when the
+	// result was served from the cache — no search ran).
 	Nodes int
 	// ModelStats describes the MILP when EngineMILP ran.
 	ModelStats *model.Stats
+	// Cached reports that the result was served from Spec.Cache (an exact
+	// or cover-down proof hit) without running a solver.
+	Cached bool
 }
 
 // Synthesize solves one synthesis problem. Every returned design has been
@@ -316,6 +328,72 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sp.Cache != nil && cacheEligible(sp) {
+		if res, err, ok := sp.Cache.synthesize(ctx, sp); ok {
+			return res, err
+		}
+	}
+	return solve(ctx, sp, nil)
+}
+
+// cacheEligible reports whether a spec may be served by / stored into the
+// result cache. Heuristic requests expect an inexact answer (a cached
+// proof would change semantics, and a heuristic result must never be
+// cached as one), and specs carrying failpoint hooks must actually reach
+// the solver for the fault to fire.
+func cacheEligible(sp Spec) bool {
+	return sp.Engine != EngineHeuristic && sp.Hooks == nil
+}
+
+// milpSolve runs one already-built MILP model and maps the solver status
+// onto a Result. The batch path shares this with the single-solve path:
+// it is where cloned sweep-template models and accumulated incumbent
+// pools enter. The returned design is not yet validated — callers go
+// through finishSolve.
+func milpSolve(ctx context.Context, sp Spec, m *model.Model, pool [][]float64) (*Result, error) {
+	res := &Result{Engine: sp.Engine}
+	st := m.Stats
+	res.ModelStats = &st
+	design, sol, err := m.Solve(ctx, &milp.Options{
+		TimeLimit:     sp.Budget,
+		Telemetry:     sp.Telemetry,
+		RootCuts:      sp.RootCuts,
+		Hooks:         sp.Hooks,
+		IncumbentPool: pool,
+		LP:            &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Nodes = sol.Nodes
+	res.Design = design
+	res.Optimal = sol.Status == milp.Optimal
+	res.Infeasible = sol.Status == milp.Infeasible
+	switch sol.Status {
+	case milp.Optimal:
+		res.Status = StatusOptimal
+		res.Bound = sol.Obj
+	case milp.Feasible:
+		res.Status = StatusFeasible
+		res.Bound = sol.Bound
+		res.Gap = sol.Gap
+	case milp.Infeasible:
+		res.Status = StatusInfeasible
+	case milp.Unbounded:
+		return nil, fmt.Errorf("sos: MILP relaxation unbounded (model bug)")
+	default: // milp.NoSolution: budget or cancellation before any incumbent
+		res.Status = StatusBudgetExhausted
+		if ctx.Err() != nil {
+			res.Status = StatusCanceled
+		}
+	}
+	return res, nil
+}
+
+// solve dispatches one defaulted spec to its engine. warm optionally
+// carries untrusted incumbent designs (cache near-misses) that seed the
+// exact engines' pruning; each engine feasibility-checks them itself.
+func solve(ctx context.Context, sp Spec, warm []*schedule.Design) (*Result, error) {
 	res := &Result{Engine: sp.Engine}
 	switch sp.Engine {
 	case EngineMILP:
@@ -328,39 +406,15 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := m.Stats
-		res.ModelStats = &st
-		design, sol, err := m.Solve(ctx, &milp.Options{
-			TimeLimit: sp.Budget,
-			Telemetry: sp.Telemetry,
-			RootCuts:  sp.RootCuts,
-			Hooks:     sp.Hooks,
-			LP:        &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
-		})
+		var pool [][]float64
+		for _, w := range warm {
+			if v, err := m.IncumbentVector(w); err == nil {
+				pool = append(pool, v)
+			}
+		}
+		res, err = milpSolve(ctx, sp, m, pool)
 		if err != nil {
 			return nil, err
-		}
-		res.Nodes = sol.Nodes
-		res.Design = design
-		res.Optimal = sol.Status == milp.Optimal
-		res.Infeasible = sol.Status == milp.Infeasible
-		switch sol.Status {
-		case milp.Optimal:
-			res.Status = StatusOptimal
-			res.Bound = sol.Obj
-		case milp.Feasible:
-			res.Status = StatusFeasible
-			res.Bound = sol.Bound
-			res.Gap = sol.Gap
-		case milp.Infeasible:
-			res.Status = StatusInfeasible
-		case milp.Unbounded:
-			return nil, fmt.Errorf("sos: MILP relaxation unbounded (model bug)")
-		default: // milp.NoSolution: budget or cancellation before any incumbent
-			res.Status = StatusBudgetExhausted
-			if ctx.Err() != nil {
-				res.Status = StatusCanceled
-			}
 		}
 	case EngineHeuristic:
 		maxCounts := make([]int, sp.Library.NumTypes())
@@ -384,6 +438,9 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		if sp.Objective == MinCost {
 			eo.Objective = exact.MinCost
 		}
+		if len(warm) > 0 {
+			eo.Warm = warm[0] // best-objective candidate; exact vets it
+		}
 		r, err := exact.Synthesize(ctx, sp.Graph, sp.Pool, sp.Topology, eo)
 		if err != nil {
 			return nil, err
@@ -396,6 +453,12 @@ func Synthesize(ctx context.Context, spec Spec) (*Result, error) {
 		res.Gap = r.Gap
 		res.Nodes = r.Nodes
 	}
+	return finishSolve(sp, res)
+}
+
+// finishSolve applies the result invariants every solve path shares:
+// unknown-gap normalization and the independent schedule re-validation.
+func finishSolve(sp Spec, res *Result) (*Result, error) {
 	if res.Status == StatusBudgetExhausted || res.Status == StatusCanceled {
 		// No incumbent and no proof: the optimality gap is unknown, which
 		// Result documents as +Inf (not 0, which would read as "proven").
