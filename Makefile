@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-sweep-check perf-lp perf-lp-check perf-cache perf-cache-check fuzz-smoke lint soak-smoke server-race
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-sweep-check perf-lp perf-lp-check perf-cache perf-cache-check perf-race perf-race-check fuzz-smoke lint soak-smoke server-race
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, a one-iteration smoke of the headline benchmark, and a short
@@ -73,6 +73,18 @@ perf-cache:
 ## enlarging the MILP search (the CI cache gate).
 perf-cache-check:
 	$(GO) run ./cmd/sosbench -perf-cache -check-baseline
+
+## perf-race: engine-portfolio racing report — budget-constrained Table II
+## sweep, sequential ladder vs concurrent race on the shared incumbent
+## bus — written to BENCH_race.json.
+perf-race:
+	$(GO) run ./cmd/sosbench -perf-race
+
+## perf-race-check: re-measure and fail unless racing beats the
+## sequential ladder's wall-clock AND returns the bit-identical frontier
+## (the CI racing gate — invariants, not machine-speed ratchets).
+perf-race-check:
+	$(GO) run ./cmd/sosbench -perf-race -check-baseline
 
 ## server-race: the sosd chaos suite — fault injection, hostile clients,
 ## saturation storms, shutdown under load — under the race detector.

@@ -94,6 +94,7 @@ func run() error {
 		totalBudget = flag.Duration("total-budget", 0, "one wall-clock budget for a whole -frontier sweep (0 = unlimited)")
 		anytime     = flag.Bool("anytime", false, "degrade starved -frontier points down the MILP→combinatorial→heuristic ladder instead of stopping")
 		sweepWork   = flag.Int("sweep-workers", 1, "concurrent -frontier point solvers; >1 enables the speculative-parallel sweep (same frontier, overlapped solves)")
+		raceFlag    = flag.Bool("race-engines", false, "race the engine portfolio concurrently on a shared incumbent bus; first proof wins, losers' incumbents tighten it while they run")
 		frontier    = flag.Bool("frontier", false, "trace the whole non-inferior cost/performance set")
 		gantt       = flag.Bool("gantt", true, "print the schedule as a Gantt chart")
 		trace       = flag.Bool("trace", false, "print the simulated event trace")
@@ -153,6 +154,7 @@ func run() error {
 		SweepBudget:  *totalBudget,
 		Anytime:      *anytime,
 		SweepWorkers: *sweepWork,
+		Race:         *raceFlag,
 		LPPresolve:   *lpPresolve,
 		RootCuts:     *rootCuts,
 		Memory:       *memory,
@@ -321,6 +323,9 @@ func runOnce(ctx context.Context, spec sos.Spec, fl runFlags) error {
 		degraded = true
 	}
 	fmt.Printf("%s in %v (%d nodes): %s\n", status, elapsed, res.Nodes, res.Design)
+	if res.Raced {
+		fmt.Printf("race: won by the %s engine\n", res.Rung)
+	}
 	if res.ModelStats != nil {
 		fmt.Printf("model: %s\n", res.ModelStats)
 	}

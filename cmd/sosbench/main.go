@@ -16,6 +16,7 @@
 //	-perf              solver-throughput report, written to BENCH_<date>.json
 //	-perf-lp           LP kernel report (dense vs sparse vs presolve), BENCH_lp.json
 //	-perf-cache        result-cache report (hit p50, zero-hit overhead), BENCH_cache.json
+//	-perf-race         engine-racing vs sequential-ladder report, BENCH_race.json
 //
 // By default frontiers are traced with the combinatorial engine (exact and
 // fast). -engine milp uses the paper's MILP method for everything it can
@@ -80,6 +81,7 @@ func main() {
 		perfSw  = flag.Bool("perf-sweep", false, "measure Table II sweep scaling over worker counts and write BENCH_sweep.json")
 		perfLP  = flag.Bool("perf-lp", false, "measure LP kernel throughput (dense vs sparse vs presolve) and write BENCH_lp.json")
 		perfCa  = flag.Bool("perf-cache", false, "measure the result cache (repeat-heavy p50, zero-hit overhead, warm starts) and write BENCH_cache.json")
+		perfRa  = flag.Bool("perf-race", false, "measure engine-portfolio racing vs the sequential ladder on the budget-constrained Table II sweep and write BENCH_race.json")
 	)
 	flag.Parse()
 
@@ -133,6 +135,7 @@ func main() {
 	run(*perfSw, PerfSweep)
 	run(*perfLP, PerfLP)
 	run(*perfCa, PerfCache)
+	run(*perfRa, PerfRace)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

@@ -48,6 +48,7 @@ func run(args []string, out *os.File) error {
 		cacheSize  = fs.Int("cache-size", 4096, "result-cache capacity in proofs (0 disables the cache)")
 		cachePath  = fs.String("cache-persist", "", "JSONL spill file for cached proofs; warm-loaded at startup (empty = in-memory only)")
 		maxBatch   = fs.Int("max-batch", 0, "max specs per POST /v1/batch (0 = default 64)")
+		raceFlag   = fs.Bool("race-engines", false, "race the engine portfolio concurrently per solve (first proof wins); per-request \"race\" overrides")
 		quiet      = fs.Bool("quiet", false, "suppress per-request log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +88,7 @@ func run(args []string, out *os.File) error {
 		MaxBudget:     *maxBudget,
 		DrainGrace:    *drainGrace,
 		MaxBatch:      *maxBatch,
+		RaceEngines:   *raceFlag,
 		Cache:         cache,
 		Telemetry:     tel,
 		Logf:          logf,

@@ -131,3 +131,77 @@ func (m *MultiGovernor) Acquire(requested time.Duration, deadline time.Time) (*G
 	}
 	return g, release
 }
+
+// AcquireN admits one racing request as n concurrent tenants and returns
+// one Governor per racer plus a single release for all of them. Racing
+// engines run simultaneously, so each occupies a capacity slot: the fair
+// share every racer receives is capacity divided by the active count
+// *after* all n are admitted. That keeps a racing request honest against
+// its sequential neighbors — it buys concurrency with a thinner
+// per-engine share rather than by multiplying its allotment.
+//
+// All n governors open the same wall-clock window (tightest of the
+// request budget, the deadline headroom, and the per-racer share), which
+// is exactly what a race wants: every entrant gets the full window
+// concurrently instead of consuming decaying slices in sequence.
+func (m *MultiGovernor) AcquireN(n int, requested time.Duration, deadline time.Time) ([]*Governor, func()) {
+	if n < 1 {
+		n = 1
+	}
+	var nowf func() time.Time = time.Now
+	share := time.Duration(0)
+	release := func() {}
+	if m != nil {
+		m.mu.Lock()
+		m.active += n
+		if m.active > m.peak {
+			m.peak = m.active
+		}
+		if m.capacity > 0 {
+			share = m.capacity / time.Duration(m.active)
+			if share < m.floor {
+				share = m.floor
+			}
+		}
+		nowf = m.now
+		m.mu.Unlock()
+		var once sync.Once
+		release = func() {
+			once.Do(func() {
+				m.mu.Lock()
+				m.active -= n
+				m.mu.Unlock()
+			})
+		}
+	}
+
+	total := requested
+	tighten := func(d time.Duration) {
+		if d != 0 && (total == 0 || d < total) {
+			total = d
+		}
+	}
+	tighten(share)
+	exhausted := false
+	if !deadline.IsZero() {
+		head := deadline.Sub(nowf())
+		if head <= 0 {
+			exhausted = true
+		} else {
+			tighten(head)
+		}
+	}
+
+	gs := make([]*Governor, n)
+	for i := range gs {
+		g := &Governor{frac: defaultFrac, floor: defaultFloor, now: nowf}
+		switch {
+		case exhausted:
+			g.deadline = nowf()
+		case total > 0:
+			g.deadline = nowf().Add(total)
+		}
+		gs[i] = g
+	}
+	return gs, release
+}

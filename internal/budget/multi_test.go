@@ -1,0 +1,93 @@
+package budget
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAcquireNThinsShare(t *testing.T) {
+	m := NewMulti(12 * time.Second)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clock.now
+
+	// A racing request admitted as 3 tenants pays for its concurrency:
+	// each racer's window is capacity/3, not capacity.
+	gs, rel := m.AcquireN(3, 0, time.Time{})
+	if len(gs) != 3 {
+		t.Fatalf("got %d governors, want 3", len(gs))
+	}
+	if m.Active() != 3 {
+		t.Fatalf("active %d after AcquireN(3), want 3", m.Active())
+	}
+	for i, g := range gs {
+		if got := g.Remaining(); got != 4*time.Second {
+			t.Errorf("racer %d remaining %v, want 4s (12s / 3 tenants)", i, got)
+		}
+	}
+
+	// A sequential neighbor admitted while the race runs sees 4 tenants.
+	g4, rel4 := m.Acquire(0, time.Time{})
+	if got := g4.Remaining(); got != 3*time.Second {
+		t.Errorf("neighbor remaining %v, want 3s (12s / 4 tenants)", got)
+	}
+	rel4()
+	rel()
+	if m.Active() != 0 {
+		t.Fatalf("active %d after releases, want 0", m.Active())
+	}
+}
+
+func TestAcquireNReleaseOnce(t *testing.T) {
+	m := NewMulti(time.Minute)
+	_, rel := m.AcquireN(3, 0, time.Time{})
+	rel()
+	rel() // a double release must not drive active negative
+	if got := m.Active(); got != 0 {
+		t.Fatalf("active %d after double release, want 0", got)
+	}
+}
+
+func TestAcquireNTightensLikeAcquire(t *testing.T) {
+	m := NewMulti(time.Minute)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clock.now
+
+	// The requested budget is tighter than the share: it wins.
+	gs, rel := m.AcquireN(2, time.Second, time.Time{})
+	if got := gs[0].Remaining(); got != time.Second {
+		t.Errorf("remaining %v with a 1s request, want 1s", got)
+	}
+	rel()
+
+	// Deadline headroom tighter than both: it wins.
+	gs, rel = m.AcquireN(2, time.Second, clock.t.Add(300*time.Millisecond))
+	if got := gs[1].Remaining(); got != 300*time.Millisecond {
+		t.Errorf("remaining %v with 300ms headroom, want 300ms", got)
+	}
+	rel()
+}
+
+func TestAcquireNPastDeadlineExhaustedFromBirth(t *testing.T) {
+	m := NewMulti(time.Minute)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m.now = clock.now
+	gs, rel := m.AcquireN(2, 0, clock.t.Add(-time.Millisecond))
+	defer rel()
+	for i, g := range gs {
+		if !g.Exhausted() {
+			t.Errorf("racer %d not exhausted despite a passed deadline", i)
+		}
+	}
+}
+
+func TestAcquireNNilAndDegenerate(t *testing.T) {
+	var nilm *MultiGovernor
+	gs, rel := nilm.AcquireN(0, 2*time.Second, time.Time{})
+	defer rel()
+	if len(gs) != 1 {
+		t.Fatalf("AcquireN(0) returned %d governors, want 1", len(gs))
+	}
+	if got := gs[0].Remaining(); got < 1900*time.Millisecond || got > 2*time.Second {
+		t.Errorf("nil-multi remaining %v, want ~2s (request bound only)", got)
+	}
+}

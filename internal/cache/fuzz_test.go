@@ -27,6 +27,7 @@ func FuzzCanonicalKey(f *testing.F) {
 	f.Add(uint16(7), uint8(2), uint8(2), int64(3))
 	f.Add(uint16(42), uint8(3), uint8(0), int64(4))
 	f.Add(uint16(9), uint8(4), uint8(1), int64(-5))
+	f.Add(uint16(13), uint8(5), uint8(2), int64(0)) // negative-zero seed: pins -0 == 0 below
 
 	f.Fuzz(func(t *testing.T, seed uint16, workload, topoSel uint8, rawDelta int64) {
 		var g *taskgraph.Graph
@@ -72,6 +73,23 @@ func FuzzCanonicalKey(f *testing.F) {
 		}
 		if perm.Key() != base.Key() {
 			t.Fatalf("renamed/reordered presentation changed the key (seed %d)", seed)
+		}
+
+		// -0 == 0 on the limit axis: a JSON spec can spell zero either
+		// way, and both mean the same bound, so the keys must agree.
+		negZero := math.Copysign(0, -1)
+		dlPos, err := Prepare(Request{Graph: g, Pool: arch.InstancePool(lib, counts),
+			Topo: topo, Objective: MinCost, Deadline: 0})
+		if err != nil {
+			t.Fatalf("Prepare(deadline 0): %v", err)
+		}
+		dlNeg, err := Prepare(Request{Graph: g, Pool: arch.InstancePool(lib, counts),
+			Topo: topo, Objective: MinCost, Deadline: negZero})
+		if err != nil {
+			t.Fatalf("Prepare(deadline -0): %v", err)
+		}
+		if dlPos.Key() != dlNeg.Key() {
+			t.Fatalf("deadline -0 and 0 produced different keys (seed %d)", seed)
 		}
 
 		// Separation under a semantic mutation. delta is clamped to a

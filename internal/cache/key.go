@@ -80,6 +80,19 @@ func (r *Request) limit() float64 {
 	return r.CostCap
 }
 
+// normBits returns the IEEE-754 bit pattern of v with negative zero
+// collapsed onto positive zero. Every float that reaches a color, the
+// certificate, or the key hash goes through this one helper: -0 and 0 are
+// the same number, and a JSON spec can legally carry either spelling, so
+// letting raw Float64bits distinguish them would make a spec with cap or
+// arc field -0 miss the cache entry for 0.
+func normBits(v float64) uint64 {
+	if v == 0 {
+		v = 0 // collapses -0
+	}
+	return math.Float64bits(v)
+}
+
 // canon is the canonicalization of one request: the family and full keys
 // plus the canonical orders needed to translate designs between
 // isomorphic problem instances.
@@ -150,14 +163,14 @@ func canonicalize(req *Request) (*canon, error) {
 	nodeC := make([]uint64, n)
 	typeC := make([]uint64, m)
 	for _, s := range g.Subtasks() {
-		nodeC[s.ID] = hashVals(0xA11CE, math.Float64bits(s.Mem))
+		nodeC[s.ID] = hashVals(0xA11CE, normBits(s.Mem))
 	}
 	for _, t := range lib.Types() {
 		if ring {
 			// Positions are semantic on a ring: pin each type to its slot.
 			typeC[t.ID] = hashVals(0xB0B, uint64(t.ID))
 		} else {
-			typeC[t.ID] = hashVals(0xB0B, math.Float64bits(t.Cost), uint64(counts[t.ID]))
+			typeC[t.ID] = hashVals(0xB0B, normBits(t.Cost), uint64(counts[t.ID]))
 		}
 	}
 
@@ -229,12 +242,7 @@ func canonicalize(req *Request) (*canon, error) {
 	// Serialize the full problem under the canonical order and hash it.
 	var cert []byte
 	app64 := func(v uint64) { cert = binary.BigEndian.AppendUint64(cert, v) }
-	appF := func(v float64) {
-		if v == 0 {
-			v = 0 // normalize -0
-		}
-		app64(math.Float64bits(v))
-	}
+	appF := func(v float64) { app64(normBits(v)) }
 	cert = append(cert, "sos-cache-v1|"...)
 	cert = append(cert, topoName...)
 	appF(topoCost)
@@ -276,9 +284,9 @@ func canonicalize(req *Request) (*canon, error) {
 	for _, a := range g.Arcs() {
 		rows = append(rows, arcRow{
 			src: nodePos[a.Src], dst: nodePos[a.Dst],
-			vol: math.Float64bits(a.Volume),
-			fr:  math.Float64bits(a.FR),
-			fa:  math.Float64bits(a.FA),
+			vol: normBits(a.Volume),
+			fr:  normBits(a.FR),
+			fa:  normBits(a.FA),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -309,7 +317,7 @@ func canonicalize(req *Request) (*canon, error) {
 	c.family = sha256.Sum256(cert)
 	var keyed []byte
 	keyed = append(keyed, c.family[:]...)
-	keyed = binary.BigEndian.AppendUint64(keyed, math.Float64bits(c.limit))
+	keyed = binary.BigEndian.AppendUint64(keyed, normBits(c.limit))
 	c.key = sha256.Sum256(keyed)
 	return c, nil
 }
@@ -326,21 +334,21 @@ func refineNodes(g *taskgraph.Graph, lib *arch.Library, nodeC, typeC []uint64) [
 		sig = append(sig, nodeC[s.ID])
 		var exec []uint64
 		for _, t := range lib.Types() {
-			exec = append(exec, hashVals(typeC[t.ID], math.Float64bits(lib.Exec(t.ID, s.ID))))
+			exec = append(exec, hashVals(typeC[t.ID], normBits(lib.Exec(t.ID, s.ID))))
 		}
 		sig = appendSorted(sig, exec)
 		var in []uint64
 		for _, aid := range g.In(s.ID) {
 			a := g.Arc(aid)
-			in = append(in, hashVals(0x1234AB, nodeC[a.Src], math.Float64bits(a.Volume),
-				math.Float64bits(a.FR), math.Float64bits(a.FA)))
+			in = append(in, hashVals(0x1234AB, nodeC[a.Src], normBits(a.Volume),
+				normBits(a.FR), normBits(a.FA)))
 		}
 		sig = appendSorted(sig, in)
 		var outArcs []uint64
 		for _, aid := range g.Out(s.ID) {
 			a := g.Arc(aid)
-			outArcs = append(outArcs, hashVals(0x5678CD, nodeC[a.Dst], math.Float64bits(a.Volume),
-				math.Float64bits(a.FR), math.Float64bits(a.FA)))
+			outArcs = append(outArcs, hashVals(0x5678CD, nodeC[a.Dst], normBits(a.Volume),
+				normBits(a.FR), normBits(a.FA)))
 		}
 		sig = appendSorted(sig, outArcs)
 		out[s.ID] = hashVals(sig...)
@@ -356,7 +364,7 @@ func refineTypes(g *taskgraph.Graph, lib *arch.Library, nodeC, typeC []uint64) [
 		sig := []uint64{typeC[t.ID]}
 		var exec []uint64
 		for _, s := range g.Subtasks() {
-			exec = append(exec, hashVals(nodeC[s.ID], math.Float64bits(lib.Exec(t.ID, s.ID))))
+			exec = append(exec, hashVals(nodeC[s.ID], normBits(lib.Exec(t.ID, s.ID))))
 		}
 		sig = appendSorted(sig, exec)
 		out[t.ID] = hashVals(sig...)

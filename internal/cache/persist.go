@@ -3,6 +3,7 @@ package cache
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 
@@ -15,20 +16,74 @@ import (
 // problem in specfile form plus the proof. Lines are self-contained so a
 // restarted process (or a different machine) can rebuild the entry, and
 // the canonical key is recomputed on load rather than trusted from disk.
+//
+// CostCap, Deadline, and Bound are spillFloats, not float64s: an
+// unbounded-deadline MinCost proof carries Deadline = +Inf, which
+// encoding/json rejects outright — with plain floats json.Marshal fails
+// and appendSpill (silent by design) drops the line, so the proof
+// silently never survives a restart. The spillFloat form writes
+// non-finite values as strings and round-trips them exactly, which
+// matters doubly for Deadline: the restored request is re-keyed through
+// Prepare, so a lossy decode would file the proof under the wrong key.
 type spillRecord struct {
 	V           int             `json:"v"`
 	Spec        json.RawMessage `json:"spec"` // {"graph":…,"library":…,"pool":…}
 	Topology    string          `json:"topology"`
 	TopoCost    float64         `json:"topo_cost,omitempty"`
 	Objective   string          `json:"objective"` // "makespan" | "cost"
-	CostCap     float64         `json:"cost_cap,omitempty"`
-	Deadline    float64         `json:"deadline,omitempty"`
+	CostCap     spillFloat      `json:"cost_cap,omitempty"`
+	Deadline    spillFloat      `json:"deadline,omitempty"`
 	Memory      bool            `json:"memory,omitempty"`
 	NoOverlapIO bool            `json:"no_overlap_io,omitempty"`
 	Status      string          `json:"status"` // "optimal" | "infeasible"
-	Bound       float64         `json:"bound,omitempty"`
+	Bound       spillFloat      `json:"bound,omitempty"`
 	Nodes       int64           `json:"nodes,omitempty"`
 	Design      json.RawMessage `json:"design,omitempty"`
+}
+
+// spillFloat is a float64 that survives JSON at non-finite values:
+// ±Inf and NaN marshal as the strings "+Inf"/"-Inf"/"NaN" (encoding/json
+// rejects them as numbers), finite values marshal as plain numbers, so
+// spill files written before this type existed still parse.
+type spillFloat float64
+
+func (f spillFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *spillFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = spillFloat(math.Inf(1))
+		case "-Inf":
+			*f = spillFloat(math.Inf(-1))
+		case "NaN":
+			*f = spillFloat(math.NaN())
+		default:
+			return fmt.Errorf("cache: bad spill float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = spillFloat(v)
+	return nil
 }
 
 const spillVersion = 1
@@ -98,8 +153,8 @@ func recordOf(e *entry) (*spillRecord, error) {
 		Spec:        spec,
 		Topology:    topoName,
 		TopoCost:    topoCost,
-		CostCap:     e.req.CostCap,
-		Deadline:    e.req.Deadline,
+		CostCap:     spillFloat(e.req.CostCap),
+		Deadline:    spillFloat(e.req.Deadline),
 		Memory:      e.req.Memory,
 		NoOverlapIO: e.req.NoOverlapIO,
 		Nodes:       e.nodes,
@@ -113,7 +168,7 @@ func recordOf(e *entry) (*spillRecord, error) {
 		rec.Status = "infeasible"
 	} else {
 		rec.Status = "optimal"
-		rec.Bound = e.objVal
+		rec.Bound = spillFloat(e.objVal)
 		d, err := schedule.EncodeDesign(e.design)
 		if err != nil {
 			return nil, err
@@ -175,8 +230,8 @@ func (c *Cache) loadLine(line []byte) bool {
 		Graph:       spec.Graph,
 		Pool:        spec.Instances(),
 		Topo:        topo,
-		CostCap:     rec.CostCap,
-		Deadline:    rec.Deadline,
+		CostCap:     float64(rec.CostCap),
+		Deadline:    float64(rec.Deadline),
 		Memory:      rec.Memory,
 		NoOverlapIO: rec.NoOverlapIO,
 	}
@@ -208,7 +263,7 @@ func (c *Cache) loadLine(line []byte) bool {
 			return false
 		}
 		e.design = d
-		e.objVal = rec.Bound
+		e.objVal = float64(rec.Bound)
 		if req.Objective == MinCost {
 			e.designLimit = d.Makespan
 		} else {

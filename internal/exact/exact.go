@@ -98,6 +98,23 @@ type Options struct {
 	// is value-based, so an exhausted search still proves its answer.
 	Warm *schedule.Design
 
+	// OnIncumbent, when non-nil, is called with each installed improving
+	// incumbent (design, cost) — the cross-engine bus publish point for
+	// portfolio racing. In parallel mode calls can arrive out of order
+	// relative to objective value; consumers must tolerate non-improving
+	// calls. The callback must not call back into the search.
+	OnIncumbent func(d *schedule.Design, cost float64)
+	// Foreign, when non-nil, is polled at the budget-check cadence for
+	// incumbents produced outside this search (another engine in a race).
+	// seen is the last version observed by this search goroutine; the
+	// function returns a candidate design, the current version, and
+	// whether the candidate is new. Candidates are NOT trusted: each is
+	// vetted exactly like Warm (same problem objects, independent
+	// validation, inside the cap/deadline) and adopted only if strictly
+	// improving, so a bad publish can never corrupt a proof. Must be safe
+	// for concurrent calls.
+	Foreign func(seen uint64) (*schedule.Design, uint64, bool)
+
 	// Telemetry, when non-nil, receives search counters (mapping nodes,
 	// scheduling nodes, incumbents) and incumbent trace events. Node counts
 	// are accumulated locally per search goroutine and folded in when the
@@ -302,10 +319,11 @@ type search struct {
 	symmetry bool
 	deadline time.Time
 
-	nodes      int
-	schedNodes int
-	budgetHit  bool
-	worker     int // telemetry attribution; 0 in sequential mode
+	nodes       int
+	schedNodes  int
+	budgetHit   bool
+	worker      int    // telemetry attribution; 0 in sequential mode
+	foreignSeen uint64 // last Options.Foreign version this goroutine observed
 
 	best      *schedule.Design
 	localPerf float64
@@ -347,8 +365,12 @@ func (s *search) accept(d *schedule.Design, cost float64) {
 	s.noteIncumbent(d, cost)
 }
 
-// noteIncumbent records an installed incumbent with the collector.
+// noteIncumbent records an installed incumbent with the collector and
+// publishes it to the cross-engine bus when one is attached.
 func (s *search) noteIncumbent(d *schedule.Design, cost float64) {
+	if s.opts.OnIncumbent != nil {
+		s.opts.OnIncumbent(d, cost)
+	}
 	tel := s.opts.Telemetry
 	if tel == nil {
 		return
@@ -375,10 +397,37 @@ func (s *search) overBudget() bool {
 	if s.ctx != nil && s.nodes%64 == 0 && s.ctx.Err() != nil {
 		s.budgetHit = true
 	}
+	if s.opts.Foreign != nil && s.nodes%64 == 0 {
+		s.adoptForeign()
+	}
 	if s.sharedStop != nil && s.sharedStop.Load() {
 		return true
 	}
 	return s.budgetHit
+}
+
+// adoptForeign polls the cross-engine bus and installs its candidate as
+// the incumbent if it passes the same vet as a Warm seed and strictly
+// improves the current bound. Vetting keeps proofs sound: a foreign
+// design only ever tightens pruning with a value the search could have
+// found itself.
+func (s *search) adoptForeign() {
+	d, v, ok := s.opts.Foreign(s.foreignSeen)
+	if !ok {
+		return
+	}
+	s.foreignSeen = v
+	if !warmUsable(d, s.g, s.pool, s.topo, s.opts) {
+		return
+	}
+	if s.opts.Objective == MinMakespan {
+		if d.Makespan >= s.bestPerf() {
+			return
+		}
+	} else if d.Cost >= s.bestCost() {
+		return
+	}
+	s.accept(d, d.Cost)
 }
 
 // procCost sums the costs of instances used by the partial mapping.

@@ -121,6 +121,16 @@ type Options struct {
 	// strictly improving even with Workers > 1; the callback must not call
 	// back into the solver.
 	OnIncumbent func(obj float64, x []float64)
+	// Foreign, when non-nil, is polled at the budget-check cadence for
+	// incumbents produced outside this solve — another engine in a
+	// portfolio race publishing to a shared bus. seen is the last bus
+	// version this worker observed; the function returns a candidate
+	// vector, the current version, and whether the candidate is new.
+	// Candidates are NOT trusted: each is vetted against rows, bounds,
+	// and integrality exactly like an IncumbentPool entry, and adopted
+	// only if strictly improving. The function must be safe for
+	// concurrent calls (workers poll independently).
+	Foreign func(seen uint64) (x []float64, version uint64, ok bool)
 	// Branch selects the branching rule (default most-fractional).
 	Branch BranchRule
 	// Order selects the node-selection strategy (default depth-first).
@@ -405,6 +415,8 @@ type bbWorker struct {
 	local int64 // nodes processed by this worker (budget amortization)
 	err   error
 
+	foreignSeen uint64 // last Options.Foreign version this worker observed
+
 	nExpand, nPrune int64 // telemetry aggregation
 }
 
@@ -491,8 +503,28 @@ func (w *bbWorker) checkBudget() bool {
 			st.unproven.Store(true)
 			return true
 		}
+		if f := st.opts.Foreign; f != nil {
+			if cand, v, ok := f(w.foreignSeen); ok {
+				w.foreignSeen = v
+				st.adoptForeign(cand)
+			}
+		}
 	}
 	return false
+}
+
+// adoptForeign vets one untrusted cross-engine candidate and installs it
+// as the incumbent if it is feasible, integral, and strictly improving.
+// The vet is identical to IncumbentPool's; the copy keeps the caller's
+// slice out of the search state.
+func (st *bbState) adoptForeign(cand []float64) {
+	s := st.s
+	if len(cand) != s.prob.NumCols() || !s.checkFeasible(cand, st.tol) {
+		return
+	}
+	if obj := s.objOf(cand); obj < relCut(st.best(), improveTol) {
+		st.offer(append([]float64(nil), cand...), obj)
+	}
 }
 
 // run drains the worker's frontier.

@@ -1,0 +1,250 @@
+package pareto
+
+import (
+	"context"
+	"math"
+
+	"sos/internal/arch"
+	"sos/internal/budget"
+	"sos/internal/exact"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/race"
+	"sos/internal/schedule"
+	"sos/internal/taskgraph"
+	"sos/internal/telemetry"
+)
+
+// attachMILPBus hooks one MILP solve onto the cross-engine incumbent bus:
+// every strictly improving incumbent is extracted to a design and
+// published under r, and the bus is polled at the solver's budget-check
+// cadence for designs other engines found, which enter as untrusted
+// IncumbentPool-style candidates. Attach only to the solve whose
+// objective is the bus's ordering axis.
+func attachMILPBus(o *milp.Options, m *model.Model, bus *race.Bus, r budget.Rung) {
+	o.OnIncumbent = func(obj float64, x []float64) {
+		if d, err := m.Extract(x); err == nil {
+			bus.Publish(r, d, obj)
+		}
+	}
+	o.Foreign = func(seen uint64) ([]float64, uint64, bool) {
+		d, v, ok := bus.Peek(seen)
+		if !ok || d == nil {
+			return nil, v, false
+		}
+		if vec, err := m.IncumbentVector(d); err == nil {
+			return vec, v, true
+		}
+		return nil, v, false
+	}
+}
+
+// attachExactBus is attachMILPBus for the combinatorial engine; designs
+// cross the bus directly, no vector translation needed. The publish
+// objective follows the solve's own axis.
+func attachExactBus(o *exact.Options, bus *race.Bus, r budget.Rung) {
+	minCost := o.Objective == exact.MinCost
+	o.OnIncumbent = func(d *schedule.Design, cost float64) {
+		obj := d.Makespan
+		if minCost {
+			obj = cost
+		}
+		bus.Publish(r, d, obj)
+	}
+	o.Foreign = bus.Peek
+}
+
+// racePointOutcome is the value one race entrant returns: the point it
+// solved plus whether it proved the cap infeasible.
+type racePointOutcome struct {
+	pt         Point
+	infeasible bool
+}
+
+// raceLadder resolves the rungs to race: the configured Ladder, or the
+// default ladder of the selected engine when none was set.
+func raceLadder(opts Options) budget.Ladder {
+	if len(opts.Ladder) > 0 {
+		return opts.Ladder
+	}
+	if opts.Engine == EngineCombinatorial {
+		return budget.DefaultLadder(budget.RungCombinatorial)
+	}
+	return budget.DefaultLadder(budget.RungMILP)
+}
+
+// raceAttribution folds one finished race into telemetry: the winning
+// rung's counter, the canceled-loser count, and one EvRace event.
+func raceAttribution(tel *telemetry.Collector, winner budget.Rung, haveWinner bool, canceled int) {
+	label := "none"
+	if haveWinner {
+		label = winner.String()
+		switch winner {
+		case budget.RungMILP:
+			tel.Inc(telemetry.CtrRaceWinsMILP)
+		case budget.RungCombinatorial:
+			tel.Inc(telemetry.CtrRaceWinsComb)
+		case budget.RungHeuristic:
+			tel.Inc(telemetry.CtrRaceWinsHeur)
+		}
+	}
+	tel.Add(telemetry.CtrRaceCanceled, int64(canceled))
+	tel.Emit(telemetry.EvRace, 0, float64(canceled), label)
+}
+
+// solvePointRace solves one frontier point by racing the ladder's rungs
+// concurrently over a shared incumbent bus. The first rung to certify
+// the point (Optimal, or a proven Infeasible from an exact rung) wins
+// and the rest are canceled; a rung that errors or panics is isolated —
+// a surviving rung's proof is still adopted. With no proof the best
+// vetted incumbent across all rungs is returned StatusFeasible, exactly
+// like the sequential ladder. Every entrant shares the governor's
+// *current* slice as one concurrent wall-clock window, instead of the
+// decaying per-rung slices the sequential walk burns.
+func solvePointRace(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options, costCap float64) (Point, bool, error) {
+	const eps = 1e-9
+	vet := func(d *schedule.Design, obj float64) bool {
+		if d.Graph != g || d.Pool != pool || d.Topo != topo {
+			return false
+		}
+		if d.Validate(&schedule.ValidateOptions{NoOverlapIO: opts.ModelOpts.NoOverlapIO}) != nil {
+			return false
+		}
+		return costCap <= 0 || d.Cost <= costCap+eps
+	}
+	bus := race.NewBus(vet)
+
+	var entrants []race.Entrant
+	for _, r := range raceLadder(opts) {
+		o := opts
+		o.Race = false
+		o.Ladder = nil
+		o.raceBus, o.raceRung = bus, r
+		switch r {
+		case budget.RungMILP:
+			o.Engine = EngineMILP
+			entrants = append(entrants, race.Entrant{Rung: r, Run: func(rctx context.Context) (any, bool, error) {
+				pt, inf, err := solvePoint(rctx, g, pool, topo, o, costCap, nil)
+				proof := err == nil && (inf || (pt.Status == budget.StatusOptimal && pt.Design != nil))
+				return racePointOutcome{pt, inf}, proof, err
+			}})
+		case budget.RungCombinatorial:
+			entrants = append(entrants, race.Entrant{Rung: r, Run: func(rctx context.Context) (any, bool, error) {
+				pt, inf, err := solvePointExact(rctx, g, pool, topo, o, costCap)
+				proof := err == nil && (inf || (pt.Status == budget.StatusOptimal && pt.Design != nil))
+				return racePointOutcome{pt, inf}, proof, err
+			}})
+		case budget.RungHeuristic:
+			entrants = append(entrants, race.Entrant{Rung: r, Run: func(context.Context) (any, bool, error) {
+				pt := solvePointHeur(g, pool, topo, o, costCap, nil)
+				if pt.Design != nil {
+					bus.Publish(budget.RungHeuristic, pt.Design, pt.Design.Makespan)
+				}
+				return racePointOutcome{pt: pt}, false, nil // the heuristic proves nothing
+			}})
+		}
+	}
+
+	res := race.Run(ctx, entrants)
+	return settleRace(ctx, opts, res, func(pt Point) float64 { return pt.Perf() })
+}
+
+// solveDeadlinePointRace is solvePointRace on the MinCost axis. The
+// heuristic rung is skipped (no deadline mode), matching the sequential
+// deadline ladder.
+func solveDeadlinePointRace(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options, deadline float64) (Point, bool, error) {
+	const eps = 1e-9
+	vet := func(d *schedule.Design, obj float64) bool {
+		if d.Graph != g || d.Pool != pool || d.Topo != topo {
+			return false
+		}
+		if d.Validate(&schedule.ValidateOptions{NoOverlapIO: opts.ModelOpts.NoOverlapIO}) != nil {
+			return false
+		}
+		return d.Makespan <= deadline+eps
+	}
+	bus := race.NewBus(vet)
+
+	var entrants []race.Entrant
+	for _, r := range raceLadder(opts) {
+		o := opts
+		o.Race = false
+		o.Ladder = nil
+		o.raceBus, o.raceRung = bus, r
+		switch r {
+		case budget.RungMILP:
+			o.Engine = EngineMILP
+		case budget.RungCombinatorial:
+			o.Engine = EngineCombinatorial
+		default:
+			continue
+		}
+		entrants = append(entrants, race.Entrant{Rung: r, Run: func(rctx context.Context) (any, bool, error) {
+			pt, inf, err := solveDeadlinePoint(rctx, g, pool, topo, o, deadline)
+			proof := err == nil && (inf || (pt.Status == budget.StatusOptimal && pt.Design != nil))
+			return racePointOutcome{pt, inf}, proof, err
+		}})
+	}
+
+	res := race.Run(ctx, entrants)
+	return settleRace(ctx, opts, res, func(pt Point) float64 { return pt.Cost() })
+}
+
+// settleRace turns a finished race into a Point: the winner's certified
+// point when one exists, otherwise the best surviving incumbent by the
+// sweep's objective axis. Errors surface only when nothing usable came
+// out of any entrant — a crashed engine must not mask a living one's
+// answer.
+func settleRace(ctx context.Context, opts Options, res race.Result, obj func(Point) float64) (Point, bool, error) {
+	tel := opts.Telemetry
+	if res.Winner >= 0 {
+		w := res.Outcomes[res.Winner]
+		raceAttribution(tel, w.Rung, true, res.Canceled)
+		out := w.Value.(racePointOutcome)
+		if out.infeasible {
+			return Point{}, true, nil
+		}
+		out.pt.Rung = w.Rung
+		return out.pt, false, nil
+	}
+
+	var best Point
+	var bestRung budget.Rung
+	var firstErr error
+	errs := 0
+	for _, o := range res.Outcomes {
+		if o.Err != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = o.Err
+			}
+			continue
+		}
+		out, ok := o.Value.(racePointOutcome)
+		if !ok || out.pt.Design == nil {
+			continue
+		}
+		if best.Design == nil || obj(out.pt) < obj(best)-1e-9 {
+			best, bestRung = out.pt, o.Rung
+		}
+	}
+	if best.Design == nil {
+		raceAttribution(tel, 0, false, res.Canceled)
+		if errs == len(res.Outcomes) && firstErr != nil {
+			return Point{}, false, firstErr
+		}
+		return Point{Status: noSolutionStatus(ctx)}, false, nil
+	}
+	raceAttribution(tel, bestRung, true, res.Canceled)
+	best.Rung = bestRung
+	if best.Status == budget.StatusOptimal {
+		// An entrant can hold a certified point without having won the
+		// race only if it finished after cancellation began; honor it.
+		return best, false, nil
+	}
+	best.Status = budget.StatusFeasible
+	if best.Gap == 0 {
+		best.Gap = math.Inf(1)
+	}
+	return best, false, nil
+}

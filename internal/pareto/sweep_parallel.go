@@ -385,10 +385,18 @@ func speculativeCaps(g *taskgraph.Graph, pool *arch.Instances, topo arch.Topolog
 // sweepParallel is Sweep's speculative-parallel path (SweepWorkers > 1).
 func sweepParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances, topo arch.Topology, opts Options) ([]Point, error) {
 	// Templates are only useful when some rung solves via the MILP engine.
+	// A race resolves its rungs itself (raceLadder), so consult that set.
 	needModels := false
-	if opts.Ladder == nil {
+	switch {
+	case opts.Race:
+		for _, r := range raceLadder(opts) {
+			if r == budget.RungMILP {
+				needModels = true
+			}
+		}
+	case opts.Ladder == nil:
 		needModels = opts.Engine == EngineMILP
-	} else {
+	default:
 		for _, r := range opts.Ladder {
 			if r == budget.RungMILP {
 				needModels = true

@@ -1,0 +1,171 @@
+package race
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sos/internal/budget"
+	"sos/internal/leakcheck"
+	"sos/internal/schedule"
+)
+
+func TestBusVetRejects(t *testing.T) {
+	bus := NewBus(func(d *schedule.Design, obj float64) bool { return obj <= 10 })
+	d := &schedule.Design{}
+	if bus.Publish(budget.RungMILP, d, 20) {
+		t.Error("vet-failing design was installed")
+	}
+	if bus.Version() != 0 {
+		t.Errorf("version %d after rejected publish, want 0", bus.Version())
+	}
+	if !bus.Publish(budget.RungMILP, d, 5) {
+		t.Error("vet-passing design was rejected")
+	}
+	if bus.Publish(budget.RungMILP, nil, 1) {
+		t.Error("nil design was installed")
+	}
+}
+
+func TestBusStrictImprovement(t *testing.T) {
+	bus := NewBus(nil)
+	a, b := &schedule.Design{}, &schedule.Design{}
+	if !bus.Publish(budget.RungHeuristic, a, 5) {
+		t.Fatal("first publish rejected")
+	}
+	if bus.Publish(budget.RungMILP, b, 5) {
+		t.Error("equal objective must not replace the incumbent")
+	}
+	if bus.Publish(budget.RungMILP, b, 6) {
+		t.Error("worse objective must not replace the incumbent")
+	}
+	if !bus.Publish(budget.RungMILP, b, 4) {
+		t.Error("strictly better objective rejected")
+	}
+	d, obj, src, ok := bus.Best()
+	if !ok || d != b || obj != 4 || src != budget.RungMILP {
+		t.Errorf("Best = (%p, %g, %v, %v), want (%p, 4, milp, true)", d, obj, src, ok, b)
+	}
+	if bus.Version() != 2 {
+		t.Errorf("version %d after two installs, want 2", bus.Version())
+	}
+}
+
+func TestBusPeekVersioning(t *testing.T) {
+	bus := NewBus(nil)
+	if _, _, ok := bus.Peek(0); ok {
+		t.Error("Peek on an empty bus reported news")
+	}
+	d := &schedule.Design{}
+	bus.Publish(budget.RungCombinatorial, d, 3)
+	got, v, ok := bus.Peek(0)
+	if !ok || got != d || v != 1 {
+		t.Fatalf("Peek(0) = (%p, %d, %v), want (%p, 1, true)", got, v, ok, d)
+	}
+	if _, _, ok := bus.Peek(v); ok {
+		t.Error("Peek at the current version reported news")
+	}
+}
+
+func TestRunFirstProofWinsAndCancels(t *testing.T) {
+	defer leakcheck.Check(t)
+	entrants := []Entrant{
+		{Rung: budget.RungMILP, Run: func(ctx context.Context) (any, bool, error) {
+			<-ctx.Done() // loses: blocked until the winner cancels
+			return "milp-incumbent", false, nil
+		}},
+		{Rung: budget.RungCombinatorial, Run: func(context.Context) (any, bool, error) {
+			return "comb-proof", true, nil
+		}},
+		{Rung: budget.RungHeuristic, Run: func(ctx context.Context) (any, bool, error) {
+			<-ctx.Done()
+			return "heur-incumbent", false, nil
+		}},
+	}
+	res := Run(context.Background(), entrants)
+	if res.Winner != 1 {
+		t.Fatalf("winner %d, want 1", res.Winner)
+	}
+	if res.Canceled != 2 {
+		t.Errorf("canceled %d, want 2", res.Canceled)
+	}
+	for i, o := range res.Outcomes {
+		if o.Value == nil {
+			t.Errorf("outcome %d not recorded (losers must be joined, not dropped)", i)
+		}
+	}
+}
+
+func TestRunPanicIsolated(t *testing.T) {
+	defer leakcheck.Check(t)
+	entrants := []Entrant{
+		{Rung: budget.RungMILP, Run: func(context.Context) (any, bool, error) {
+			panic("worker crashed")
+		}},
+		{Rung: budget.RungCombinatorial, Run: func(context.Context) (any, bool, error) {
+			time.Sleep(10 * time.Millisecond) // let the panic land first
+			return "proof", true, nil
+		}},
+	}
+	res := Run(context.Background(), entrants)
+	if res.Winner != 1 {
+		t.Fatalf("winner %d, want 1 (surviving entrant's proof adopted)", res.Winner)
+	}
+	perr := res.Outcomes[0].Err
+	if perr == nil || !strings.Contains(perr.Error(), "panic") {
+		t.Errorf("panic not isolated into Outcome.Err: %v", perr)
+	}
+}
+
+func TestRunNoWinner(t *testing.T) {
+	res := Run(context.Background(), []Entrant{
+		{Rung: budget.RungMILP, Run: func(context.Context) (any, bool, error) {
+			return "incumbent", false, nil
+		}},
+		{Rung: budget.RungCombinatorial, Run: func(context.Context) (any, bool, error) {
+			return nil, false, errors.New("boom")
+		}},
+	})
+	if res.Winner != -1 {
+		t.Fatalf("winner %d without any proof, want -1", res.Winner)
+	}
+	if res.Canceled != 0 {
+		t.Errorf("canceled %d without a winner, want 0", res.Canceled)
+	}
+}
+
+func TestRunProofWithErrorDoesNotWin(t *testing.T) {
+	res := Run(context.Background(), []Entrant{
+		{Rung: budget.RungMILP, Run: func(context.Context) (any, bool, error) {
+			return "tainted", true, errors.New("failed after proving")
+		}},
+	})
+	if res.Winner != -1 {
+		t.Fatalf("errored proof won the race: winner %d", res.Winner)
+	}
+}
+
+func TestRunHonorsParentCancel(t *testing.T) {
+	defer leakcheck.Check(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(ctx, []Entrant{
+			{Rung: budget.RungMILP, Run: func(rctx context.Context) (any, bool, error) {
+				<-rctx.Done()
+				return nil, false, rctx.Err()
+			}},
+		})
+	}()
+	cancel()
+	select {
+	case res := <-done:
+		if res.Winner != -1 {
+			t.Errorf("winner %d after cancel, want -1", res.Winner)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after parent cancellation")
+	}
+}

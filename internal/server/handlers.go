@@ -234,6 +234,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"cache_misses":    s.tel.Get(telemetry.CtrCacheMisses),
 			"cache_evictions": s.tel.Get(telemetry.CtrCacheEvictions),
 			"cache_coalesced": s.tel.Get(telemetry.CtrCacheCoalesced),
+			"race_wins_milp":  s.tel.Get(telemetry.CtrRaceWinsMILP),
+			"race_wins_comb":  s.tel.Get(telemetry.CtrRaceWinsComb),
+			"race_wins_heur":  s.tel.Get(telemetry.CtrRaceWinsHeur),
+			"race_canceled":   s.tel.Get(telemetry.CtrRaceCanceled),
 		},
 	}
 	if s.cfg.Cache != nil {

@@ -62,6 +62,7 @@ type wireResponse struct {
 	Status            string            `json:"status"`
 	Rung              string            `json:"rung"`
 	Degraded          bool              `json:"degraded"`
+	Raced             bool              `json:"raced"`
 	Result            json.RawMessage   `json:"result"`
 	Frontier          []json.RawMessage `json:"frontier"`
 	RetryAfterSeconds int               `json:"retry_after_seconds"`

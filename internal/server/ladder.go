@@ -55,6 +55,15 @@ func objective(sp sos.Spec, res *sos.Result) float64 {
 // (cheaper) rung. The walk is honest: the response carries the rung that
 // produced the result and whether the request was degraded at all.
 func (s *Server) runSolve(j *job, gov *budget.Governor, workerID int) *Response {
+	if j.spec.Race && j.spec.Engine != sos.EngineHeuristic {
+		if resp := s.runRace(j, gov); resp != nil {
+			return resp
+		}
+		// The race could not start (budget spent at admission); fall
+		// through to the ladder, whose terminal-heuristic contract still
+		// hands the client an incumbent when degradation is allowed.
+		j.spec.Race = false
+	}
 	requested := rungFor(j.spec.Engine)
 	ladder := budget.DefaultLadder(requested)
 	start := 0
@@ -150,6 +159,81 @@ func (s *Server) runSolve(j *job, gov *budget.Governor, workerID int) *Response 
 		resp.Status = sos.StatusBudgetExhausted.String()
 		return resp
 	}
+}
+
+// raceTenants is the number of engines a racing solve runs concurrently
+// — the tenant count its admission charges. Non-racing jobs (and sweeps
+// and batches, whose inner racing is per-point and sequential from the
+// governor's view) count as one tenant.
+func raceTenants(j *job) int {
+	if j.kind != kindSolve || !j.spec.Race || j.spec.Engine == sos.EngineHeuristic {
+		return 1
+	}
+	n, haveMILP := 0, false
+	for _, r := range budget.DefaultLadder(rungFor(j.spec.Engine)) {
+		if r == budget.RungHeuristic && j.spec.Objective == sos.MinCost {
+			continue // the heuristic has no deadline mode
+		}
+		haveMILP = haveMILP || r == budget.RungMILP
+		n++
+	}
+	if n < 2 && !haveMILP {
+		n++ // the race adds the MILP as a free second prover
+	}
+	if n < 2 {
+		return 1 // a race of one falls back to the sequential ladder
+	}
+	return n
+}
+
+// runRace serves one racing solve: the whole remaining allowance becomes
+// the shared wall-clock window every portfolio engine runs in at once,
+// and the facade's race decides the winner. A nil return means the race
+// could not start (budget already spent) and the caller should fall back
+// to the sequential ladder.
+func (s *Server) runRace(j *job, gov *budget.Governor) *Response {
+	allowance, aerr := gov.Allowance(0)
+	if aerr != nil {
+		return nil
+	}
+	ctx := j.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	sp := j.spec
+	sp.Budget = allowance
+	res, err := s.synthesize(ctx, sp)
+	if err != nil {
+		if j.ctx.Err() != nil {
+			return &Response{Status: OutcomeCanceled, HTTP: StatusClientClosedRequest,
+				Raced: true, Error: "request canceled: " + j.ctx.Err().Error()}
+		}
+		return &Response{Status: OutcomeError, HTTP: http.StatusInternalServerError,
+			Raced: true, Error: err.Error()}
+	}
+	resp := s.solveResponse(j, res, rungFor(res.Engine), false)
+	resp.Raced = true
+	if res.Rung != "" {
+		resp.Rung = res.Rung
+	}
+	switch res.Status {
+	case sos.StatusOptimal, sos.StatusInfeasible:
+		// Certified: a different winning rung is not degradation.
+	case sos.StatusCanceled:
+		resp.Status = OutcomeCanceled
+		resp.HTTP = StatusClientClosedRequest
+		resp.Error = "request canceled"
+		if cerr := ctx.Err(); cerr != nil {
+			resp.Error = "request canceled: " + cerr.Error()
+		}
+	default:
+		// An incumbent (or nothing) is weaker than the proof the request
+		// implicitly asked for; report it the way the ladder does.
+		resp.Degraded = true
+	}
+	return resp
 }
 
 // solveResponse builds the common served-response shape.

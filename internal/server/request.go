@@ -45,6 +45,10 @@ type SolveRequest struct {
 	Anytime *bool `json:"anytime,omitempty"`
 	// SweepWorkers, sweep only: concurrent frontier-point solvers.
 	SweepWorkers int `json:"sweep_workers,omitempty"`
+	// Race overrides the server's RaceEngines default for this request:
+	// true races the engine portfolio concurrently on a shared incumbent
+	// bus (first proof wins), false forces the sequential ladder.
+	Race *bool `json:"race,omitempty"`
 }
 
 // BatchRequest is the wire form of POST /v1/batch: a set of related
@@ -93,6 +97,9 @@ type Response struct {
 	// Degraded reports that the result came from a lower rung than the
 	// request asked for, or that the sweep degraded points.
 	Degraded bool `json:"degraded,omitempty"`
+	// Raced reports that the engine portfolio was raced concurrently for
+	// this request; Rung then names the winning engine.
+	Raced bool `json:"raced,omitempty"`
 
 	Result   *sos.Result         `json:"result,omitempty"`
 	Frontier []sos.FrontierPoint `json:"frontier,omitempty"`
@@ -186,6 +193,10 @@ func (s *Server) toSpec(req *SolveRequest) (spec sos.Spec, budget time.Duration,
 		spec.Topology = sos.SharedMemory(0)
 	default:
 		return spec, 0, deadline, false, badRequestf("unknown topology %q", req.Topology)
+	}
+	spec.Race = s.cfg.RaceEngines
+	if req.Race != nil {
+		spec.Race = *req.Race
 	}
 	if req.BudgetMS < 0 || req.DeadlineMS < 0 {
 		return spec, 0, deadline, false, badRequestf("budget_ms and deadline_ms must be >= 0")

@@ -94,6 +94,14 @@ type Config struct {
 	// Hooks injects solver failpoints into every MILP solve — the chaos
 	// suite's lever. Nil in production.
 	Hooks *sos.SolverHooks
+	// RaceEngines, when true, races the engine portfolio concurrently on
+	// a shared incumbent bus for every solve and sweep instead of walking
+	// the sequential degradation ladder; the first engine to produce a
+	// proof wins and the rest are canceled. A racing solve is admitted as
+	// one tenant per racing engine, so it buys its concurrency with a
+	// thinner fair share rather than by multiplying its allotment.
+	// Per-request "race" overrides this default; batch requests ignore it.
+	RaceEngines bool
 	// Logf, when non-nil, receives one line per request outcome and
 	// lifecycle transition.
 	Logf func(format string, args ...any)
@@ -266,7 +274,17 @@ func (s *Server) run(workerID int, j *job) {
 		return
 	}
 
-	gov, release := s.gov.Acquire(j.budget, j.deadline)
+	// A racing solve runs one engine per rung concurrently, so it is
+	// admitted as that many tenants: its fair share thins instead of its
+	// allotment multiplying (budget.MultiGovernor.AcquireN).
+	var gov *budget.Governor
+	var release func()
+	if n := raceTenants(j); n > 1 {
+		govs, rel := s.gov.AcquireN(n, j.budget, j.deadline)
+		gov, release = govs[0], rel
+	} else {
+		gov, release = s.gov.Acquire(j.budget, j.deadline)
+	}
 	defer release()
 
 	solveStart := time.Now()

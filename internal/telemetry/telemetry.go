@@ -120,6 +120,18 @@ const (
 	// identical request instead of solving (single-flight followers).
 	CtrCacheCoalesced
 
+	// CtrRaceWinsMILP counts engine races won by the MILP rung (it
+	// produced the adopted proof first).
+	CtrRaceWinsMILP
+	// CtrRaceWinsComb counts engine races won by the combinatorial rung.
+	CtrRaceWinsComb
+	// CtrRaceWinsHeur counts races where no rung proved anything and the
+	// heuristic's (or best surviving) incumbent was adopted.
+	CtrRaceWinsHeur
+	// CtrRaceCanceled counts losing engines canceled because another
+	// rung finished first.
+	CtrRaceCanceled
+
 	numCounters
 )
 
@@ -132,6 +144,7 @@ var counterNames = [numCounters]string{
 	"lp_refactors", "lp_presolve_rows", "lp_presolve_cols", "cuts_added",
 	"req_admitted", "req_served", "req_shed", "req_degraded", "req_canceled", "req_panics",
 	"cache_hits", "cache_near_hits", "cache_misses", "cache_evictions", "cache_coalesced",
+	"race_wins_milp", "race_wins_comb", "race_wins_heur", "race_canceled",
 }
 
 func (c Counter) String() string {
@@ -197,6 +210,10 @@ const (
 	// "coalesced"; Value is the request's cap/deadline (or a count for
 	// "near"/"evict").
 	EvCache
+	// EvRace: an engine race reached a terminal state. Label is the
+	// winning rung ("milp", "combinatorial", "heuristic") or "none";
+	// Value is the number of entrants canceled.
+	EvRace
 
 	numEventKinds
 )
@@ -204,7 +221,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
-	"speculate", "lp_refactor", "lp_presolve", "cut", "request", "cache",
+	"speculate", "lp_refactor", "lp_presolve", "cut", "request", "cache", "race",
 }
 
 func (k EventKind) String() string {

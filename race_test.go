@@ -1,0 +1,213 @@
+package sos
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"sos/internal/expts"
+	"sos/internal/leakcheck"
+	"sos/internal/telemetry"
+)
+
+// paperWorkloads are the three published sweeps: Table II (Example 1,
+// point-to-point), Table IV (Example 2, point-to-point), and Table V
+// (Example 2, shared bus).
+func paperWorkloads() []struct {
+	name string
+	spec Spec
+} {
+	g1, lib1 := expts.Example1()
+	g2, lib2 := expts.Example2()
+	return []struct {
+		name string
+		spec Spec
+	}{
+		{"example1-p2p", Spec{Graph: g1, Library: lib1, Pool: expts.Example1Pool(lib1),
+			Budget: 2 * time.Minute}},
+		{"example2-p2p", Spec{Graph: g2, Library: lib2, Pool: expts.Example2Pool(lib2),
+			Budget: 2 * time.Minute}},
+		{"example2-bus", Spec{Graph: g2, Library: lib2, Pool: expts.Example2Pool(lib2),
+			Topology: Bus(), Budget: 2 * time.Minute}},
+	}
+}
+
+// TestRaceMatchesSequentialSolve races each paper workload and checks the
+// result against the sequential solve: same status, same objective value,
+// honest Raced/Rung attribution, and no leaked loser goroutines.
+func TestRaceMatchesSequentialSolve(t *testing.T) {
+	defer leakcheck.Check(t)
+	for _, w := range paperWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			seq, err := Synthesize(context.Background(), w.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raced := w.spec
+			raced.Race = true
+			tel := telemetry.New(nil)
+			raced.Telemetry = tel
+			res, err := Synthesize(context.Background(), raced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != seq.Status {
+				t.Fatalf("raced status %v, sequential %v", res.Status, seq.Status)
+			}
+			if !res.Raced || res.Rung == "" {
+				t.Errorf("race attribution missing: Raced=%v Rung=%q", res.Raced, res.Rung)
+			}
+			if math.Abs(res.Design.Makespan-seq.Design.Makespan) > 1e-9 {
+				t.Errorf("raced makespan %g, sequential %g", res.Design.Makespan, seq.Design.Makespan)
+			}
+			wins := tel.Get(telemetry.CtrRaceWinsMILP) + tel.Get(telemetry.CtrRaceWinsComb) +
+				tel.Get(telemetry.CtrRaceWinsHeur)
+			if wins != 1 {
+				t.Errorf("race win counters sum to %d, want 1", wins)
+			}
+		})
+	}
+}
+
+// TestRaceFrontierBitIdentical sweeps each paper workload with and
+// without racing: the frontiers must be bit-identical point for point —
+// racing changes wall-clock shape, never the certified answer.
+func TestRaceFrontierBitIdentical(t *testing.T) {
+	defer leakcheck.Check(t)
+	for _, w := range paperWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			seq, err := Frontier(context.Background(), w.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raced := w.spec
+			raced.Race = true
+			got, err := Frontier(context.Background(), raced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(seq) {
+				t.Fatalf("raced frontier has %d points, sequential %d", len(got), len(seq))
+			}
+			for i := range got {
+				if math.Float64bits(got[i].Cost) != math.Float64bits(seq[i].Cost) ||
+					math.Float64bits(got[i].Perf) != math.Float64bits(seq[i].Perf) {
+					t.Errorf("point %d: raced (%g, %g), sequential (%g, %g)",
+						i, got[i].Cost, got[i].Perf, seq[i].Cost, seq[i].Perf)
+				}
+				if got[i].Status != seq[i].Status {
+					t.Errorf("point %d: raced status %v, sequential %v", i, got[i].Status, seq[i].Status)
+				}
+			}
+		})
+	}
+}
+
+// TestRaceMILPEntry races from the MILP entry rung (all three engines
+// run) on Example 1 and still certifies the paper's optimum.
+func TestRaceMILPEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MILP in -short mode")
+	}
+	defer leakcheck.Check(t)
+	spec := example1Spec(EngineMILP)
+	spec.Race = true
+	res, err := Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Design == nil {
+		t.Fatalf("raced MILP-entry solve not optimal: %+v", res)
+	}
+	if math.Abs(res.Design.Makespan-2.5) > 1e-9 {
+		t.Errorf("makespan %g, want 2.5", res.Design.Makespan)
+	}
+	if !res.Raced {
+		t.Error("result not marked Raced")
+	}
+}
+
+// TestRaceMinCost races the deadline objective (heuristic rung dropped —
+// it has no deadline mode) and matches the sequential answer.
+func TestRaceMinCost(t *testing.T) {
+	defer leakcheck.Check(t)
+	spec := example1Spec(EngineAuto)
+	spec.Objective = MinCost
+	spec.Deadline = 7
+	spec.Race = true
+	res, err := Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || math.Abs(res.Design.Cost-5) > 1e-9 {
+		t.Fatalf("raced min cost at deadline 7 = %+v, want cost 5 optimal", res)
+	}
+	if !res.Raced || res.Rung != "combinatorial" && res.Rung != "milp" {
+		t.Errorf("attribution Raced=%v Rung=%q", res.Raced, res.Rung)
+	}
+}
+
+// TestRaceInfeasible: a proven-infeasible cap is a proof and ends the
+// race like any other certificate.
+func TestRaceInfeasible(t *testing.T) {
+	defer leakcheck.Check(t)
+	spec := example1Spec(EngineAuto)
+	spec.CostCap = 3
+	spec.Race = true
+	res, err := Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infeasible || res.Design != nil {
+		t.Fatalf("cap 3 should be proven infeasible: %+v", res)
+	}
+	if !res.Raced {
+		t.Error("result not marked Raced")
+	}
+}
+
+// TestRaceChaosWinnerPanics is the chaos case the race was built for: the
+// MILP entrant crashes mid-solve (failpoint panic on its third node), and
+// the race adopts the surviving combinatorial engine's proof instead of
+// surfacing the crash. Canceled losers must not leak goroutines.
+func TestRaceChaosWinnerPanics(t *testing.T) {
+	defer leakcheck.Check(t)
+	spec := example1Spec(EngineMILP)
+	spec.Race = true
+	spec.Hooks = &SolverHooks{OnNode: func(int) {
+		panic("injected MILP worker crash")
+	}}
+	tel := telemetry.New(nil)
+	spec.Telemetry = tel
+	res, err := Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("crashed entrant leaked out of the race: %v", err)
+	}
+	if !res.Optimal || res.Design == nil {
+		t.Fatalf("surviving engine's proof not adopted: %+v", res)
+	}
+	if math.Abs(res.Design.Makespan-2.5) > 1e-9 {
+		t.Errorf("makespan %g, want 2.5", res.Design.Makespan)
+	}
+	if res.Rung == "milp" {
+		t.Errorf("crashed rung credited with the win")
+	}
+	if tel.Get(telemetry.CtrRaceWinsMILP) != 0 {
+		t.Error("race_wins_milp ticked for a crashed MILP entrant")
+	}
+}
+
+// TestRaceHeuristicEngineIgnoresRace: a heuristic-only spec has nothing
+// to race against; Race is ignored and the result is unmarked.
+func TestRaceHeuristicEngineIgnoresRace(t *testing.T) {
+	spec := example1Spec(EngineHeuristic)
+	spec.Race = true
+	res, err := Synthesize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raced || res.Rung != "" {
+		t.Errorf("heuristic solve claimed race attribution: Raced=%v Rung=%q", res.Raced, res.Rung)
+	}
+}

@@ -227,6 +227,17 @@ type Spec struct {
 	// identical frontier the sequential sweep returns (DESIGN.md §10).
 	// 0 or 1 selects the sequential sweep.
 	SweepWorkers int
+	// Race runs the engine portfolio concurrently instead of one engine
+	// (or one ladder rung) at a time: MILP, combinatorial, and heuristic
+	// solvers all start at once on a shared incumbent bus — each
+	// publishes every feasible design it finds, each adopts the others'
+	// (feasibility-vetted) designs to tighten its own pruning — and the
+	// first engine to produce a proof (Optimal or Infeasible) wins while
+	// the rest are canceled. Results carry Raced/Rung attribution. In
+	// Frontier/FrontierByDeadline each point is raced (composing with
+	// SweepWorkers); the frontier is identical to the sequential one.
+	// EngineHeuristic specs ignore Race — there is only one rung to run.
+	Race bool
 
 	// LPKernel selects the simplex kernel for EngineMILP node relaxations
 	// (default LPKernelAuto). Ignored by the other engines.
@@ -319,6 +330,11 @@ type Result struct {
 	// Cached reports that the result was served from Spec.Cache (an exact
 	// or cover-down proof hit) without running a solver.
 	Cached bool
+	// Raced reports that the engine portfolio was raced (Spec.Race).
+	Raced bool
+	// Rung names the ladder rung that produced the result of a raced
+	// solve ("milp", "combinatorial", "heuristic"); empty otherwise.
+	Rung string
 }
 
 // Synthesize solves one synthesis problem. Every returned design has been
@@ -348,20 +364,25 @@ func cacheEligible(sp Spec) bool {
 // milpSolve runs one already-built MILP model and maps the solver status
 // onto a Result. The batch path shares this with the single-solve path:
 // it is where cloned sweep-template models and accumulated incumbent
-// pools enter. The returned design is not yet validated — callers go
-// through finishSolve.
-func milpSolve(ctx context.Context, sp Spec, m *model.Model, pool [][]float64) (*Result, error) {
+// pools enter; mod lets the racing path attach its bus hooks to the
+// options before the solve. The returned design is not yet validated —
+// callers go through finishSolve.
+func milpSolve(ctx context.Context, sp Spec, m *model.Model, pool [][]float64, mod ...func(*milp.Options)) (*Result, error) {
 	res := &Result{Engine: sp.Engine}
 	st := m.Stats
 	res.ModelStats = &st
-	design, sol, err := m.Solve(ctx, &milp.Options{
+	opts := &milp.Options{
 		TimeLimit:     sp.Budget,
 		Telemetry:     sp.Telemetry,
 		RootCuts:      sp.RootCuts,
 		Hooks:         sp.Hooks,
 		IncumbentPool: pool,
 		LP:            &lp.Options{Kernel: sp.LPKernel, Presolve: sp.LPPresolve},
-	})
+	}
+	for _, f := range mod {
+		f(opts)
+	}
+	design, sol, err := m.Solve(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +415,9 @@ func milpSolve(ctx context.Context, sp Spec, m *model.Model, pool [][]float64) (
 // carries untrusted incumbent designs (cache near-misses) that seed the
 // exact engines' pruning; each engine feasibility-checks them itself.
 func solve(ctx context.Context, sp Spec, warm []*schedule.Design) (*Result, error) {
+	if sp.Race && sp.Engine != EngineHeuristic {
+		return solveRace(ctx, sp, warm)
+	}
 	res := &Result{Engine: sp.Engine}
 	switch sp.Engine {
 	case EngineMILP:
@@ -528,6 +552,7 @@ func sweepOptions(sp Spec) pareto.Options {
 	if sp.Anytime {
 		opts.Ladder = budget.DefaultLadder(first)
 	}
+	opts.Race = sp.Race
 	return opts
 }
 
