@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-sweep-check perf-lp perf-lp-check perf-cache perf-cache-check perf-race perf-race-check fuzz-smoke lint soak-smoke server-race
+.PHONY: tier1 vet build test bench-smoke bench perf perf-sweep perf-sweep-check perf-lp perf-lp-check perf-cache perf-cache-check perf-race perf-race-check perf-frontier perf-frontier-check perf-scale fuzz-smoke lint soak-smoke server-race
 
 ## tier1: the gate every change must pass — vet, build, race-enabled
 ## tests, a one-iteration smoke of the headline benchmark, and a short
@@ -85,6 +85,26 @@ perf-race:
 ## (the CI racing gate — invariants, not machine-speed ratchets).
 perf-race-check:
 	$(GO) run ./cmd/sosbench -perf-race -check-baseline
+
+## perf-frontier: frontier-store report — repeat sweeps of the paper's
+## three frontiers through the store vs cold, plus delta-resolve point
+## accounting — written to BENCH_frontier.json.
+perf-frontier:
+	$(GO) run ./cmd/sosbench -perf-frontier
+
+## perf-frontier-check: re-measure and fail unless the store holds its
+## bars: >=1000x repeat-sweep p50 on the Example 2 workloads (>=25x on
+## the millisecond-scale Table II stream), every cached frontier
+## bit-identical to the cold sweep, and delta-resolve solving exactly
+## the uncovered points (the CI frontier gate).
+perf-frontier-check:
+	$(GO) run ./cmd/sosbench -perf-frontier -check-baseline
+
+## perf-scale: large-instance scaling sweep — structured 50-800-subtask
+## forced-mapping instances through the sparse MILP stack — written to
+## BENCH_scale.json. Reporting only; no gate.
+perf-scale:
+	$(GO) run ./cmd/sosbench -perf-scale
 
 ## server-race: the sosd chaos suite — fault injection, hostile clients,
 ## saturation storms, shutdown under load — under the race detector.

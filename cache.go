@@ -4,6 +4,7 @@ import (
 	"context"
 
 	icache "sos/internal/cache"
+	"sos/internal/pareto"
 	"sos/internal/schedule"
 )
 
@@ -23,6 +24,14 @@ type CacheOptions struct {
 	PersistPath string
 	// Telemetry receives the cache_* counters and EvCache trace events.
 	Telemetry *Telemetry
+	// Frontiers additionally caches whole swept Pareto frontiers: Frontier
+	// calls with this cache attached serve repeat sweeps from the store
+	// and delta-resolve partially covered cap ranges (DESIGN.md §15).
+	// When PersistPath is set, frontiers persist to PersistPath+".frontiers".
+	Frontiers bool
+	// FrontierCapacity bounds the number of cached frontiers when
+	// Frontiers is set (<= 0 selects 256).
+	FrontierCapacity int
 }
 
 // Cache is a cross-request result cache: a sharded LRU of proved results
@@ -36,6 +45,7 @@ type CacheOptions struct {
 // cover-down rule — see DESIGN.md §13 for the soundness argument.
 type Cache struct {
 	c *icache.Cache
+	f *icache.FrontierStore // nil unless CacheOptions.Frontiers
 }
 
 // NewCache builds a result cache.
@@ -49,11 +59,36 @@ func NewCache(opts CacheOptions) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cache{c: c}, nil
+	out := &Cache{c: c}
+	if opts.Frontiers {
+		fpath := ""
+		if opts.PersistPath != "" {
+			fpath = opts.PersistPath + ".frontiers"
+		}
+		f, err := icache.NewFrontierStore(icache.FrontierOptions{
+			Capacity:    opts.FrontierCapacity,
+			PersistPath: fpath,
+			Telemetry:   opts.Telemetry,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		out.f = f
+	}
+	return out, nil
 }
 
-// Close flushes and closes the persistent spill, if any.
-func (c *Cache) Close() error { return c.c.Close() }
+// Close flushes and closes the persistent spills, if any.
+func (c *Cache) Close() error {
+	err := c.c.Close()
+	if c.f != nil {
+		if ferr := c.f.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
 
 // Len reports the number of cached proofs.
 func (c *Cache) Len() int { return c.c.Len() }
@@ -61,6 +96,24 @@ func (c *Cache) Len() int { return c.c.Len() }
 // Loaded reports how many persisted proofs were restored (and how many
 // spill lines were skipped as corrupt or stale) at construction.
 func (c *Cache) Loaded() (restored, skipped int) { return c.c.Loaded() }
+
+// FrontierLen reports the number of cached frontiers (0 when the cache
+// was built without CacheOptions.Frontiers).
+func (c *Cache) FrontierLen() int {
+	if c.f == nil {
+		return 0
+	}
+	return c.f.Len()
+}
+
+// FrontierLoaded reports how many persisted frontiers were restored (and
+// how many spill lines were skipped) at construction.
+func (c *Cache) FrontierLoaded() (restored, skipped int) {
+	if c.f == nil {
+		return 0, 0
+	}
+	return c.f.Loaded()
+}
 
 // probe canonicalizes a defaulted spec into a cache probe.
 func (c *Cache) probe(sp Spec) (*icache.Probe, error) {
@@ -149,4 +202,67 @@ func resultFromHit(sp Spec, hit *icache.Hit) *Result {
 // the batch path to seed grouped solves).
 func (c *Cache) warmDesignsFor(p *icache.Probe, max int) []*schedule.Design {
 	return c.c.WarmStarts(p, max)
+}
+
+// frontierStep is the cost-cap decrement of Frontier sweeps. The facade
+// never overrides pareto's default step of 1, so the store keys every
+// frontier under the same step.
+const frontierStep = 1.0
+
+// frontierProbe canonicalizes a defaulted spec for the frontier store.
+// Frontiers are always chains of min-makespan proofs, so the probe is
+// keyed under MinMakespan regardless of the spec's point objective; the
+// start cap only parameterizes the range query, not the family.
+func (c *Cache) frontierProbe(sp Spec) (*icache.Probe, error) {
+	return icache.Prepare(icache.Request{
+		Graph:       sp.Graph,
+		Pool:        sp.Pool,
+		Topo:        sp.Topology,
+		Objective:   icache.MinMakespan,
+		CostCap:     sp.CostCap,
+		Memory:      sp.Memory,
+		NoOverlapIO: sp.NoOverlapIO,
+	})
+}
+
+// frontier is the cached sweep path behind Frontier. ok=false means the
+// cache was built without frontier support (or the spec would not
+// canonicalize) and the caller should sweep directly.
+//
+// The sweep always runs — the store plugs in as its FrontierSource, so a
+// fully covered range costs one serve pass and zero solver calls, while
+// a partially covered one solves only the uncovered caps with cached
+// neighbors as warm incumbents. Finish classifies the outcome and
+// splices any newly certified points back into the store.
+func (c *Cache) frontier(ctx context.Context, sp Spec) ([]FrontierPoint, error, bool) {
+	if c == nil || c.f == nil {
+		return nil, nil, false
+	}
+	p, err := c.frontierProbe(sp)
+	if err != nil {
+		return nil, nil, false
+	}
+	var out []FrontierPoint
+	var sweepErr error
+	run := func() error {
+		v := c.f.View(p, frontierStep, sp.CostCap)
+		opts := sweepOptions(sp)
+		opts.Source = v
+		pts, err := pareto.Sweep(ctx, sp.Graph, sp.Pool, sp.Topology, opts)
+		v.Finish(pts, err)
+		out, sweepErr = frontierPoints(pts), err
+		return err
+	}
+	shared, _ := c.f.Do(ctx, p, frontierStep, sp.CostCap, run)
+	if shared {
+		// Follower: the leader finished (or our wait was canceled). Its
+		// points live in its own frame, so re-sweep — the store now holds
+		// the chain and serves it remapped without solver calls. If the
+		// leader failed, this degenerates to an ordinary sweep.
+		if err := ctx.Err(); err != nil {
+			return nil, err, true
+		}
+		run()
+	}
+	return out, sweepErr, true
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"sos/internal/arch"
+	"sos/internal/lp"
+	"sos/internal/milp"
+	"sos/internal/model"
+	"sos/internal/taskgraph"
+)
+
+// scaleBenchFile is the committed large-instance scaling record. The
+// report is informational (no CI ratchet): it tracks how far the sparse
+// MILP stack closes forced-mapping structured instances as they grow.
+const scaleBenchFile = "BENCH_scale.json"
+
+// scalePoint is one (shape, size) measurement.
+type scalePoint struct {
+	Shape    string `json:"shape"` // "series-parallel" | "fork-join"
+	Subtasks int    `json:"subtasks"`
+	Vars     int    `json:"vars"`
+	Rows     int    `json:"rows"`
+	Status   string `json:"status"`
+	Nodes    int    `json:"nodes"`
+	BuildNs  int64  `json:"build_ns"`
+	SolveNs  int64  `json:"solve_ns"`
+}
+
+type scalePerfReport struct {
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Points    []scalePoint `json:"points"`
+}
+
+// forcedScaleInstance builds a structured instance whose mapping is
+// forced by capability — subtask i runs only on processor type i, one
+// instance each — so the MILP's assignment combinatorics collapse and
+// the measurement isolates model build + large-LP scheduling, the regime
+// the sparse kernel with presolve exists for (DESIGN.md §14).
+func forcedScaleInstance(rng *rand.Rand, shape string, n int) (*taskgraph.Graph, *arch.Instances) {
+	spec := taskgraph.StructuredSpec{Subtasks: n, MaxFan: 4}
+	var g *taskgraph.Graph
+	if shape == "fork-join" {
+		g = taskgraph.ForkJoin(rng, spec)
+	} else {
+		g = taskgraph.SeriesParallel(rng, spec)
+	}
+	lib := arch.NewLibrary("forced", 1, 1, 0)
+	for i := 0; i < n; i++ {
+		exec := make([]float64, n)
+		for a := range exec {
+			exec[a] = arch.NoTime
+		}
+		exec[i] = float64(1 + rng.Intn(5))
+		lib.AddType("", 1, exec)
+	}
+	copies := make([]int, n)
+	for i := range copies {
+		copies[i] = 1
+	}
+	return g, arch.InstancePool(lib, copies)
+}
+
+// PerfScale sweeps structured instance sizes (50-800 subtasks, both
+// series-parallel and fork-join shapes) through the full MILP stack —
+// sparse kernel, presolve, root cuts — and writes per-size build time,
+// solve time, model dimensions, and node count to BENCH_scale.json.
+// Reporting only: there is no baseline gate.
+func PerfScale() error {
+	fmt.Println("== Large-instance scaling report ==")
+	report := scalePerfReport{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	sizes := []int{50, 100, 200, 400, 800}
+	for _, shape := range []string{"series-parallel", "fork-join"} {
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g, pool := forcedScaleInstance(rng, shape, n)
+			t0 := time.Now()
+			m, err := model.Build(g, pool, arch.PointToPoint{}, model.Options{})
+			if err != nil {
+				return fmt.Errorf("perf-scale %s/%d build: %w", shape, n, err)
+			}
+			buildNs := time.Since(t0)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			t0 = time.Now()
+			_, sol, err := m.Solve(ctx, &milp.Options{
+				TimeLimit: 2 * time.Minute,
+				RootCuts:  true,
+				LP:        &lp.Options{Kernel: lp.KernelSparse, Presolve: true},
+			})
+			cancel()
+			if err != nil {
+				return fmt.Errorf("perf-scale %s/%d solve: %w", shape, n, err)
+			}
+			st := m.Stats
+			pt := scalePoint{
+				Shape: shape, Subtasks: n,
+				Vars: st.TimingVars + st.BinaryVars + st.ContinuousAux, Rows: st.Constraints,
+				Status: sol.Status.String(), Nodes: sol.Nodes,
+				BuildNs: int64(buildNs), SolveNs: int64(time.Since(t0)),
+			}
+			report.Points = append(report.Points, pt)
+			fmt.Printf("  %s n=%d: %d vars x %d rows, %s in %d nodes, build %v, solve %v\n",
+				pt.Shape, pt.Subtasks, pt.Vars, pt.Rows, pt.Status, pt.Nodes,
+				time.Duration(pt.BuildNs).Round(time.Millisecond),
+				time.Duration(pt.SolveNs).Round(time.Millisecond))
+		}
+	}
+
+	f, err := os.Create(scaleBenchFile)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", scaleBenchFile)
+	return nil
+}

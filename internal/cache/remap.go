@@ -10,15 +10,21 @@ import (
 	"sos/internal/taskgraph"
 )
 
-// remapDesign translates a cached entry's design into the probe's frame:
-// same canonical key family means the two problems are isomorphic (equal
-// certificates serialize the identical structure), so composing the two
-// canonical orders yields node/type/proc bijections. The rebuilt design
-// references the probe's own Graph, Pool, and Topo, and is re-derived and
-// re-validated before being served; any failure is reported as an error
-// and the caller treats it as a miss.
+// remapDesign translates a cached entry's design into the probe's frame.
 func remapDesign(e *entry, p *Probe) (*schedule.Design, error) {
-	src := e.design
+	return remapDesignFrom(e.design, e.canon, &e.req, p)
+}
+
+// remapDesignFrom translates a design stored under one canonicalization
+// into the probe's frame: same canonical key family means the two
+// problems are isomorphic (equal certificates serialize the identical
+// structure), so composing the two canonical orders yields
+// node/type/proc bijections. The rebuilt design references the probe's
+// own Graph, Pool, and Topo, and is re-derived and re-validated before
+// being served; any failure is reported as an error and the caller
+// treats it as a miss. Shared by the per-limit proof cache and the
+// frontier store.
+func remapDesignFrom(src *schedule.Design, from *canon, fromReq *Request, p *Probe) (*schedule.Design, error) {
 	if src == nil {
 		return nil, fmt.Errorf("cache: no design to remap")
 	}
@@ -29,7 +35,7 @@ func remapDesign(e *entry, p *Probe) (*schedule.Design, error) {
 		return src, nil
 	}
 
-	from, to := e.canon, p.canon
+	to := p.canon
 	if len(from.nodes) != len(to.nodes) || len(from.types) != len(to.types) {
 		return nil, fmt.Errorf("cache: canonical shape mismatch")
 	}
@@ -56,7 +62,7 @@ func remapDesign(e *entry, p *Probe) (*schedule.Design, error) {
 	for _, ps := range dstByType {
 		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 	}
-	srcPool := e.req.Pool
+	srcPool := fromReq.Pool
 	procMap := make(map[arch.ProcID]arch.ProcID, len(src.Procs))
 	for _, pid := range src.Procs {
 		pr := srcPool.Proc(pid)
@@ -95,7 +101,7 @@ func remapDesign(e *entry, p *Probe) (*schedule.Design, error) {
 		s := sig(a, toPos)
 		dstArcs[s] = append(dstArcs[s], a.ID)
 	}
-	srcG, dstG := e.req.Graph, p.Req.Graph
+	srcG, dstG := fromReq.Graph, p.Req.Graph
 	if srcG.NumArcs() != dstG.NumArcs() || srcG.NumSubtasks() != dstG.NumSubtasks() {
 		return nil, fmt.Errorf("cache: graph shape mismatch")
 	}

@@ -403,6 +403,21 @@ func sweepParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances
 			}
 		}
 	}
+	// Drain the frontier store before spending anything on speculation: a
+	// fully covered sweep returns here without launching a single worker,
+	// and a covered prefix shifts the effective start cap so the grid and
+	// the initial job target only the uncovered region.
+	var points []Point
+	costCap := opts.StartCap
+	if opts.Source != nil {
+		var fdone bool
+		points, costCap, fdone = drainSource(&opts, points, costCap)
+		if fdone {
+			return points, nil
+		}
+		opts.StartCap = costCap
+	}
+
 	sh, err := newSweepShared(g, pool, topo, opts.ModelOpts, needModels)
 	if err != nil {
 		return nil, err
@@ -488,10 +503,15 @@ func sweepParallel(ctx context.Context, g *taskgraph.Graph, pool *arch.Instances
 	// The chain walk below mirrors the sequential Sweep loop statement for
 	// statement (minus rollover accounting, which has no meaning when
 	// slices are granted concurrently).
-	var points []Point
-	costCap := opts.StartCap
 	for {
 		if opts.MaxPoints > 0 && len(points) >= opts.MaxPoints {
+			return points, nil
+		}
+		// Mid-chain holes: a partially covered store may resume coverage
+		// below a delta-resolved region; drain it before solving.
+		var fdone bool
+		points, costCap, fdone = drainSource(&opts, points, costCap)
+		if fdone {
 			return points, nil
 		}
 		if opts.Ladder == nil && opts.Governor.Exhausted() {

@@ -3,6 +3,7 @@ package pareto
 import (
 	"context"
 	"math"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,6 +18,18 @@ import (
 	"sos/internal/taskgraph"
 	"sos/internal/telemetry"
 )
+
+// forceParallel raises GOMAXPROCS for the test's duration so the worker
+// clamp (which falls a 1-effective-worker sweep back to the sequential
+// path on single-CPU hosts) keeps the parallel machinery under test
+// regardless of the machine running the suite.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < workers {
+		runtime.GOMAXPROCS(workers)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
 
 // frontiersIdentical asserts the two sweeps produced the same frontier:
 // same length, and the same (cost, perf, status) at every index.
@@ -43,6 +56,7 @@ func frontiersIdentical(t *testing.T, seq, par []Point) {
 // statuses — with the race detector watching the shared templates,
 // incumbent pool, and job queue.
 func TestParallelSweepMatchesSequentialMILP(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
@@ -79,6 +93,7 @@ func TestParallelSweepMatchesSequentialMILP(t *testing.T) {
 // combinatorial engine over all three table workloads, so every topology's
 // parallel path gets -race coverage in every test run (including -short).
 func TestParallelSweepMatchesSequentialCombinatorial(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	g1, lib1 := expts.Example1()
 	g2, lib2 := expts.Example2()
@@ -119,6 +134,7 @@ func TestParallelSweepMatchesSequentialCombinatorial(t *testing.T) {
 // many points and speculative jobs it solves, and at least one clone per
 // lexicographic solve.
 func TestParallelSweepBuildAmortization(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
@@ -151,6 +167,7 @@ func TestParallelSweepBuildAmortization(t *testing.T) {
 // gracefully: the failed job is retried inline by the reconciler and the
 // frontier comes back complete and correct.
 func TestParallelSweepFaultInjection(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("MILP sweep in -short mode")
@@ -192,6 +209,7 @@ func TestParallelSweepFaultInjection(t *testing.T) {
 // accounted: with a StartCap the grid is non-empty, and every speculative
 // job ends classified as exactly one of hit, wasted, or retargeted.
 func TestParallelSweepSpeculationTelemetry(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)
@@ -221,6 +239,7 @@ func TestParallelSweepSpeculationTelemetry(t *testing.T) {
 // returned point must respect the frontier invariant (decreasing cost,
 // strictly increasing makespan).
 func TestParallelSweepGovernedLadder(t *testing.T) {
+	forceParallel(t, 4)
 	leakcheck.Check(t)
 	g, lib := expts.Example1()
 	pool := expts.Example1Pool(lib)

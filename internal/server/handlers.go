@@ -238,10 +238,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"race_wins_comb":  s.tel.Get(telemetry.CtrRaceWinsComb),
 			"race_wins_heur":  s.tel.Get(telemetry.CtrRaceWinsHeur),
 			"race_canceled":   s.tel.Get(telemetry.CtrRaceCanceled),
+
+			"frontier_hits":         s.tel.Get(telemetry.CtrFrontierHits),
+			"frontier_partial_hits": s.tel.Get(telemetry.CtrFrontierPartialHits),
+			"frontier_misses":       s.tel.Get(telemetry.CtrFrontierMisses),
+			"frontier_delta_points": s.tel.Get(telemetry.CtrFrontierDeltaPoints),
+			"frontier_stores":       s.tel.Get(telemetry.CtrFrontierStores),
 		},
 	}
 	if s.cfg.Cache != nil {
 		stats["cache_len"] = s.cfg.Cache.Len()
+		stats["frontier_len"] = s.cfg.Cache.FrontierLen()
 	}
 	writeJSON(w, http.StatusOK, stats)
 }

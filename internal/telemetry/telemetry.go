@@ -132,6 +132,23 @@ const (
 	// rung finished first.
 	CtrRaceCanceled
 
+	// CtrFrontierHits counts sweeps answered entirely from the frontier
+	// store (every chain point served, zero solver invocations).
+	CtrFrontierHits
+	// CtrFrontierPartialHits counts sweeps partially served from the
+	// frontier store: some chain points came from the cache and the
+	// uncovered cap regions were delta-resolved.
+	CtrFrontierPartialHits
+	// CtrFrontierMisses counts sweeps the frontier store could not help
+	// with at all (cold family or uncovered range).
+	CtrFrontierMisses
+	// CtrFrontierDeltaPoints counts the frontier points actually solved
+	// during partial-hit sweeps — the delta the cache did not cover.
+	CtrFrontierDeltaPoints
+	// CtrFrontierStores counts frontiers (or frontier deltas) merged into
+	// the store after a sweep.
+	CtrFrontierStores
+
 	numCounters
 )
 
@@ -145,6 +162,8 @@ var counterNames = [numCounters]string{
 	"req_admitted", "req_served", "req_shed", "req_degraded", "req_canceled", "req_panics",
 	"cache_hits", "cache_near_hits", "cache_misses", "cache_evictions", "cache_coalesced",
 	"race_wins_milp", "race_wins_comb", "race_wins_heur", "race_canceled",
+	"frontier_hits", "frontier_partial_hits", "frontier_misses",
+	"frontier_delta_points", "frontier_stores",
 }
 
 func (c Counter) String() string {
@@ -214,6 +233,11 @@ const (
 	// winning rung ("milp", "combinatorial", "heuristic") or "none";
 	// Value is the number of entrants canceled.
 	EvRace
+	// EvFrontier: a frontier-store interaction. Label is "hit",
+	// "partial", "miss", or "store"; Value is the number of points served
+	// (hit/partial), delta-resolved (store), or the sweep's start cap
+	// (miss).
+	EvFrontier
 
 	numEventKinds
 )
@@ -222,6 +246,7 @@ var eventNames = [numEventKinds]string{
 	"node_expand", "node_prune", "incumbent", "lp_resolve",
 	"slice", "rollover", "degrade", "point", "dominated",
 	"speculate", "lp_refactor", "lp_presolve", "cut", "request", "cache", "race",
+	"frontier",
 }
 
 func (k EventKind) String() string {

@@ -512,11 +512,26 @@ type FrontierPoint struct {
 
 // Frontier traces the complete non-inferior (cost, performance) design
 // set of a spec by sweeping the cost cap, the way the paper generates its
-// Tables II, IV, and V. Spec.Objective/CostCap/Deadline are ignored.
+// Tables II, IV, and V. Spec.CostCap, when > 0, is the sweep's starting
+// cap (0 sweeps the whole frontier); Spec.Objective/Deadline are ignored.
+//
+// When Spec.Cache was built with CacheOptions.Frontiers, whole swept
+// frontiers are cached across requests: a repeat sweep of the same
+// problem family is served from the store without running a solver, and
+// a sweep whose cap range is only partially covered delta-resolves just
+// the uncovered caps (seeding those solves with adjacent cached designs)
+// before the new points are spliced back into the stored chain. Only
+// certified chains are cached, so served frontiers are bit-identical to
+// cold sweeps. See DESIGN.md §15.
 func Frontier(ctx context.Context, spec Spec) ([]FrontierPoint, error) {
 	sp, err := spec.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if sp.Cache != nil && cacheEligible(sp) {
+		if pts, err, ok := sp.Cache.frontier(ctx, sp); ok {
+			return pts, err
+		}
 	}
 	opts := sweepOptions(sp)
 	pts, err := pareto.Sweep(ctx, sp.Graph, sp.Pool, sp.Topology, opts)
@@ -530,6 +545,7 @@ func sweepOptions(sp Spec) pareto.Options {
 		ModelOpts:    model.Options{Memory: sp.Memory, NoOverlapIO: sp.NoOverlapIO},
 		Telemetry:    sp.Telemetry,
 		SweepWorkers: sp.SweepWorkers,
+		StartCap:     sp.CostCap,
 	}
 	var first budget.Rung
 	switch sp.Engine {
